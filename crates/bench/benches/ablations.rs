@@ -1,0 +1,20 @@
+//! Ablation bench: planner-ordering comparison (Algorithm 1 vs naive).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::experiments::ablations::{planner_ordering, pt_partner_choice};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("planner_ordering", |b| {
+        b.iter(|| std::hint::black_box(planner_ordering().rows.len()))
+    });
+    g.bench_function("pt_partner_choice", |b| {
+        b.iter(|| std::hint::black_box(pt_partner_choice().rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Figure 2 bench: cold PipeSwitch inference (the stall-decomposition
+//! workload) for a CNN and a transformer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{ModelId, PlanMode};
+use gpu_topology::presets::single_v100;
+
+use bench::setup::bundle;
+
+fn bench(c: &mut Criterion) {
+    let machine = single_v100();
+    let mut g = c.benchmark_group("fig02_stall");
+    g.sample_size(20);
+    for id in [ModelId::ResNet50, ModelId::BertBase] {
+        let b = bundle(&machine, id, 1, PlanMode::PipeSwitch);
+        g.bench_function(id.display_name(), |bench| {
+            bench.iter(|| {
+                let res = b.simulate_cold(0);
+                std::hint::black_box(res.stall_fraction())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5 bench: per-layer load-then-execute vs DHA cost evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::costmodel::CostModel;
+use gpu_topology::device::v100;
+use layer_profiler::pcie::probe_layers;
+
+fn bench(c: &mut Criterion) {
+    let cm = CostModel::new(v100());
+    let layers = probe_layers();
+    c.bench_function("fig05_probe_costs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, layer) in &layers {
+                acc += cm.exec_dha(layer, 1).as_secs_f64();
+                acc += cm.load_time(layer).as_secs_f64();
+                acc += cm.exec_inmem(layer, 1).as_secs_f64();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

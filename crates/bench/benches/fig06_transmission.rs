@@ -1,0 +1,25 @@
+//! Figure 6 / Table 2 bench: serial vs parallel-pipeline model
+//! transmission on the simulated p3.8xlarge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::ModelId;
+
+use bench::experiments::fig06::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig06_transmission");
+    g.sample_size(20);
+    for (label, cfg) in [
+        ("serial_1", 0usize),
+        ("parallel_pipeline_2", 2),
+        ("parallel_pipeline_4", 3),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(measure(ModelId::BertBase, cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Figure 11 bench: one cold start per execution mode (BERT-Base on the
+//! p3.8xlarge).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{ModelId, PlanMode};
+use gpu_topology::presets::p3_8xlarge;
+
+use bench::setup::bundle;
+
+fn bench(c: &mut Criterion) {
+    let machine = p3_8xlarge();
+    let mut g = c.benchmark_group("fig11_cold_start");
+    g.sample_size(20);
+    for mode in PlanMode::all() {
+        let b = bundle(&machine, ModelId::BertBase, 1, mode);
+        g.bench_function(mode.label(), |bench| {
+            bench.iter(|| std::hint::black_box(b.simulate_cold(0).latency()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 12 bench: batched cold-start throughput evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{ModelId, PlanMode};
+
+use bench::experiments::fig12::throughput;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_batching");
+    g.sample_size(10);
+    for batch in [1u32, 8] {
+        g.bench_function(format!("ptdha_batch_{batch}"), |b| {
+            b.iter(|| std::hint::black_box(throughput(ModelId::BertBase, PlanMode::PtDha, batch)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 13 bench: one reduced serving slice (BERT-Base, concurrency
+//! 120, 400 measured requests) per mode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::PlanMode;
+
+use bench::experiments::fig13::point;
+use bench::experiments::serving::run_poisson;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13_serving_slice");
+    g.sample_size(10);
+    for mode in [PlanMode::PipeSwitch, PlanMode::PtDha] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let r = run_poisson(point(mode, 120, 400));
+                std::hint::black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

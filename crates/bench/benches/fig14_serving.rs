@@ -1,0 +1,24 @@
+//! Figure 14 bench: reduced BERT-Large serving slice.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{ModelId, PlanMode};
+
+use bench::experiments::fig14::point;
+use bench::experiments::serving::run_poisson;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14_serving_slice");
+    g.sample_size(10);
+    for mode in [PlanMode::PipeSwitch, PlanMode::PtDha] {
+        g.bench_function(mode.label(), |b| {
+            b.iter(|| {
+                let r = run_poisson(point(ModelId::BertLarge, 30.0, mode, 40, 300));
+                std::hint::black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 15 bench: a 5-minute slice of the MAF-like trace replay.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::PlanMode;
+use simcore::time::SimDur;
+
+use bench::experiments::fig15::{mix, trace};
+use bench::experiments::serving::run_mix;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig15_trace_slice");
+    g.sample_size(10);
+    let instances = 120;
+    let tr = trace(instances, SimDur::from_secs(5 * 60), 150.0);
+    for mode in [PlanMode::PipeSwitch, PlanMode::PtDha] {
+        let tr = tr.clone();
+        g.bench_function(mode.label(), move |b| {
+            b.iter(|| {
+                let (kinds, instance_kinds) = mix(instances);
+                let r = run_mix(mode, &kinds, instance_kinds, tr.clone());
+                std::hint::black_box(r.completed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

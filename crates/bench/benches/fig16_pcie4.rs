@@ -1,0 +1,23 @@
+//! Figure 16 bench: cold starts on the PCIe 4.0 A5000 machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{ModelId, PlanMode};
+use gpu_topology::presets::a5000_dual;
+
+use bench::setup::bundle;
+
+fn bench(c: &mut Criterion) {
+    let machine = a5000_dual();
+    let mut g = c.benchmark_group("fig16_pcie4_cold_start");
+    g.sample_size(20);
+    for mode in [PlanMode::PipeSwitch, PlanMode::PtDha] {
+        let b = bundle(&machine, ModelId::BertBase, 1, mode);
+        g.bench_function(mode.label(), |bench| {
+            bench.iter(|| std::hint::black_box(b.simulate_cold(0).latency()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

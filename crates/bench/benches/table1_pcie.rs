@@ -1,0 +1,16 @@
+//! Table 1 bench: PCIe transaction-count computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::costmodel::CostModel;
+use gpu_topology::device::v100;
+use layer_profiler::pcie::table1;
+
+fn bench(c: &mut Criterion) {
+    let cm = CostModel::new(v100());
+    c.bench_function("table1_pcie_txns", |b| {
+        b.iter(|| std::hint::black_box(table1(&cm, 1).len()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

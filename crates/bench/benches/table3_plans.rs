@@ -1,0 +1,23 @@
+//! Table 3 bench: full planning passes (profile + Algorithm 1 + PT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::{DeepPlan, ModelId, PlanMode};
+use gpu_topology::presets::p3_8xlarge;
+
+fn bench(c: &mut Criterion) {
+    let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+    let mut g = c.benchmark_group("table3_planning");
+    g.sample_size(10);
+    for id in [ModelId::ResNet101, ModelId::BertBase, ModelId::Gpt2] {
+        g.bench_function(id.display_name(), |b| {
+            b.iter(|| {
+                let bundle = dp.plan_mode(id, 1, PlanMode::PtDha);
+                std::hint::black_box(bundle.plan.decisions.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 4 bench: concurrent PT+DHA cold starts on both GPU pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deepplan::ModelId;
+
+use bench::experiments::table4::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table4_interference");
+    g.sample_size(10);
+    g.bench_function("bert_base_pair", |b| {
+        b.iter(|| std::hint::black_box(measure(ModelId::BertBase)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 5 bench: the 10-iteration profiling pre-run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnn_models::zoo::{build, ModelId};
+use gpu_topology::device::v100;
+use layer_profiler::profiler::Profiler;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_profiling");
+    g.sample_size(10);
+    for id in [ModelId::ResNet50, ModelId::RobertaLarge] {
+        let model = build(id);
+        g.bench_function(id.display_name(), |b| {
+            b.iter(|| {
+                let (profile, cost) = Profiler::new(v100()).with_iterations(10).profile(&model, 1);
+                std::hint::black_box((profile.layers.len(), cost.total()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p bench --bin report -- all        # everything
+//! cargo run --release -p bench --bin report -- fig11 fig13
+//! cargo run --release -p bench --bin report -- quick      # skip 3 h trace
+//! ```
+//!
+//! Each table is printed to stdout and written as JSON under `results/`.
+
+use std::fs;
+use std::path::Path;
+
+use bench::experiments::{
+    ablations, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, table1, table3,
+    table4, table5,
+};
+use bench::Table;
+
+fn emit(name: &str, table: Table) {
+    println!("{table}");
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{name}.json"));
+        if let Err(e) = fs::write(&path, table.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+fn run_one(name: &str) -> bool {
+    match name {
+        "fig2" | "fig02" => emit("fig02_stall", fig02::run()),
+        "fig5" | "fig05" => emit("fig05_layers", fig05::run()),
+        "table1" => emit("table1_pcie", table1::run()),
+        "fig6" | "fig06" => {
+            emit("fig06_transmission", fig06::run());
+            emit("table2_bandwidth", fig06::run_table2());
+        }
+        "table2" => emit("table2_bandwidth", fig06::run_table2()),
+        "fig11" => emit("fig11_speedup", fig11::run()),
+        "table3" => emit("table3_plans", table3::run()),
+        "table4" => emit("table4_interference", table4::run()),
+        "fig12" => emit("fig12_batching", fig12::run()),
+        "table5" => emit("table5_profiling", table5::run()),
+        "fig13" => emit("fig13_serving_bertbase", fig13::run()),
+        "fig14" => emit("fig14_serving_large", fig14::run()),
+        "fig15" => emit("fig15_maf_trace", fig15::run()),
+        "fig16" => emit("fig16_pcie4", fig16::run()),
+        "ablations" => {
+            for (i, t) in ablations::run_all().into_iter().enumerate() {
+                emit(&format!("ablation_{i}"), t);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+const QUICK: &[&str] = &[
+    "fig2",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig11",
+    "table3",
+    "table4",
+    "fig12",
+    "table5",
+    "fig16",
+    "ablations",
+];
+
+const ALL: &[&str] = &[
+    "fig2",
+    "fig5",
+    "table1",
+    "fig6",
+    "fig11",
+    "table3",
+    "table4",
+    "fig12",
+    "table5",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablations",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else if args.iter().any(|a| a == "quick") {
+        QUICK.to_vec()
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for name in names {
+        if !run_one(name) {
+            eprintln!("unknown experiment '{name}'; known: {ALL:?} plus 'all'/'quick'");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 2 — decomposition of PipeSwitch inference latency into GPU
+//! execution time and pipeline stall (batch 1, single V100).
+
+use deepplan::PlanMode;
+use dnn_models::zoo::catalog;
+use gpu_topology::presets::single_v100;
+
+use crate::setup::bundle;
+use crate::table::{fmt, Table};
+
+/// Runs the stall decomposition for all eight models.
+pub fn run() -> Table {
+    let machine = single_v100();
+    let mut t = Table::new(
+        "Figure 2 — PipeSwitch latency decomposition (batch 1)",
+        &["model", "total ms", "exec ms", "stall ms", "stall %"],
+    );
+    for id in catalog() {
+        let b = bundle(&machine, id, 1, PlanMode::PipeSwitch);
+        let res = b.simulate_cold(0);
+        t.push(vec![
+            id.display_name().to_string(),
+            fmt(res.latency().as_ms_f64(), 2),
+            fmt(res.exec_busy.as_ms_f64(), 2),
+            fmt(res.stall.as_ms_f64(), 2),
+            fmt(res.stall_fraction() * 100.0, 1),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stall_shares_match_paper_bands() {
+        // BERT/RoBERTa ≈ 73–75 %, ResNet and GPT ≈ 27–37 % (paper §2.1).
+        let t = super::run();
+        let get = |name: &str| -> f64 {
+            t.rows.iter().find(|r| r[0] == name).unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        for m in ["BERT-Base", "BERT-Large", "RoBERTa-Base", "RoBERTa-Large"] {
+            let s = get(m);
+            assert!((60.0..85.0).contains(&s), "{m}: stall {s}%");
+        }
+        // Our CNN calibration stalls somewhat less than the paper's 27 %
+        // (compute-heavier eager execution there); the key shape — CNNs
+        // and GPTs stall far less than BERT-class models — must hold.
+        for m in ["ResNet-50", "ResNet-101", "GPT-2", "GPT-2 Medium"] {
+            let s = get(m);
+            assert!((5.0..55.0).contains(&s), "{m}: stall {s}%");
+            assert!(s < get("BERT-Base"), "{m}: stall {s}% !< BERT-Base");
+        }
+    }
+}

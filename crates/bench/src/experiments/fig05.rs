@@ -1,0 +1,64 @@
+//! Figure 5 — per-layer comparison of load-then-execute vs
+//! direct-host-access (embedding / convolutional / fully-connected probes
+//! from BERT-Base and ResNet-50).
+
+use dnn_models::costmodel::CostModel;
+use gpu_topology::device::v100;
+use layer_profiler::pcie::probe_layers;
+
+use crate::table::{fmt, Table};
+
+/// Runs the layer microbenchmark.
+pub fn run() -> Table {
+    let cm = CostModel::new(v100());
+    let mut t = Table::new(
+        "Figure 5 — layer execution: load-then-execute vs direct-host-access (us)",
+        &[
+            "layer",
+            "load us",
+            "exec us",
+            "load+exec us",
+            "DHA us",
+            "winner",
+        ],
+    );
+    for (label, layer) in probe_layers() {
+        let load = cm.load_time(&layer).as_us_f64();
+        let exec = cm.exec_inmem(&layer, 1).as_us_f64();
+        let dha = cm.exec_dha(&layer, 1).as_us_f64();
+        let lte = load + exec;
+        t.push(vec![
+            label,
+            fmt(load, 1),
+            fmt(exec, 1),
+            fmt(lte, 1),
+            fmt(dha, 1),
+            if dha < lte { "DHA" } else { "load" }.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn winners_match_paper() {
+        // Figure 5: embeddings favour DHA, FCs favour load; the large conv
+        // favours load while the medium conv is close.
+        let t = super::run();
+        let winner = |i: usize| t.rows[i][5].clone();
+        assert_eq!(winner(0), "DHA", "embedding medium");
+        assert_eq!(winner(1), "DHA", "embedding large");
+        assert_eq!(winner(3), "load", "conv large");
+        assert_eq!(winner(4), "load", "fc small");
+        assert_eq!(winner(5), "load", "fc large");
+    }
+
+    #[test]
+    fn large_embedding_gap_is_dramatic() {
+        let t = super::run();
+        let lte: f64 = t.rows[1][3].parse().unwrap();
+        let dha: f64 = t.rows[1][4].parse().unwrap();
+        assert!(lte > 5.0 * dha, "lte {lte} vs dha {dha}");
+    }
+}

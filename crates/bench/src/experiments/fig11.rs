@@ -1,0 +1,108 @@
+//! Figure 11 — single-inference latency/speedup of the five execution
+//! options on the four-GPU server (batch 1).
+
+use deepplan::PlanMode;
+use dnn_models::zoo::catalog;
+use gpu_topology::machine::Machine;
+use gpu_topology::presets::p3_8xlarge;
+
+use crate::setup::bundle;
+use crate::table::{fmt, Table};
+
+/// Cold-start latency (ms) of `id` under `mode` on `machine`.
+pub fn latency_ms(machine: &Machine, id: deepplan::ModelId, mode: PlanMode) -> f64 {
+    let b = bundle(machine, id, 1, mode);
+    b.simulate_cold(0).latency().as_ms_f64()
+}
+
+/// Runs the full mode × model grid on a machine.
+pub fn run_on(machine: &Machine, title: &str) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "model",
+            "Baseline ms",
+            "PipeSwitch ms",
+            "DHA ms",
+            "PT ms",
+            "PT+DHA ms",
+            "speedup/Base",
+            "speedup/PipeSwitch",
+        ],
+    );
+    for id in catalog() {
+        let ms: Vec<f64> = PlanMode::all()
+            .iter()
+            .map(|&m| latency_ms(machine, id, m))
+            .collect();
+        t.push(vec![
+            id.display_name().to_string(),
+            fmt(ms[0], 2),
+            fmt(ms[1], 2),
+            fmt(ms[2], 2),
+            fmt(ms[3], 2),
+            fmt(ms[4], 2),
+            format!("{:.2}x", ms[0] / ms[4]),
+            format!("{:.2}x", ms[1] / ms[4]),
+        ]);
+    }
+    t
+}
+
+/// Runs Figure 11 (p3.8xlarge).
+pub fn run() -> Table {
+    run_on(
+        &p3_8xlarge(),
+        "Figure 11 — single inference, batch 1, p3.8xlarge (4x V100)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepplan::ModelId;
+
+    fn speedup_over_pipeswitch(id: ModelId) -> f64 {
+        let m = p3_8xlarge();
+        latency_ms(&m, id, PlanMode::PipeSwitch) / latency_ms(&m, id, PlanMode::PtDha)
+    }
+
+    #[test]
+    fn headline_speedups_match_paper_shape() {
+        // Paper: BERT-Base 1.94x, RoBERTa-Base 2.21x, overall 1.18–2.21x.
+        let bert = speedup_over_pipeswitch(ModelId::BertBase);
+        assert!((1.7..2.2).contains(&bert), "BERT-Base speedup {bert:.2}");
+        let roberta = speedup_over_pipeswitch(ModelId::RobertaBase);
+        assert!(
+            (1.7..2.4).contains(&roberta),
+            "RoBERTa-Base speedup {roberta:.2}"
+        );
+        for id in dnn_models::zoo::catalog() {
+            let s = speedup_over_pipeswitch(id);
+            assert!((1.05..2.4).contains(&s), "{id}: speedup {s:.2}");
+        }
+    }
+
+    #[test]
+    fn dha_beats_pipeswitch_on_every_model() {
+        let m = p3_8xlarge();
+        for id in dnn_models::zoo::catalog() {
+            let ps = latency_ms(&m, id, PlanMode::PipeSwitch);
+            let dha = latency_ms(&m, id, PlanMode::Dha);
+            assert!(dha < ps, "{id}: DHA {dha:.2} !< PipeSwitch {ps:.2}");
+        }
+    }
+
+    #[test]
+    fn pt_improves_over_dha_for_encoder_models() {
+        // Paper: PT improves 1.09–1.44x over DHA for ResNet-50, BERT and
+        // RoBERTa.
+        let m = p3_8xlarge();
+        for id in [ModelId::BertBase, ModelId::RobertaBase] {
+            let dha = latency_ms(&m, id, PlanMode::Dha);
+            let pt = latency_ms(&m, id, PlanMode::Pt);
+            let ratio = dha / pt;
+            assert!((1.05..1.6).contains(&ratio), "{id}: PT/DHA {ratio:.2}");
+        }
+    }
+}

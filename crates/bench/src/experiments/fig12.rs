@@ -1,0 +1,80 @@
+//! Figure 12 — throughput improvement with batch sizes 1–8, normalised to
+//! Baseline at batch 1.
+
+use deepplan::PlanMode;
+use gpu_topology::presets::p3_8xlarge;
+
+use crate::setup::{bundle, four_models};
+use crate::table::{fmt, Table};
+
+/// Batch sizes of the sweep.
+pub const BATCHES: [u32; 4] = [1, 2, 4, 8];
+
+/// Cold-start throughput (requests/sec) of one (model, mode, batch).
+pub fn throughput(id: deepplan::ModelId, mode: PlanMode, batch: u32) -> f64 {
+    let machine = p3_8xlarge();
+    let b = bundle(&machine, id, batch, mode);
+    let latency = b.simulate_cold(0).latency().as_secs_f64();
+    batch as f64 / latency
+}
+
+/// Runs the batching sweep.
+pub fn run() -> Table {
+    let modes = [PlanMode::Baseline, PlanMode::PipeSwitch, PlanMode::PtDha];
+    let mut t = Table::new(
+        "Figure 12 — throughput with batching, normalised to Baseline at batch 1",
+        &["model", "mode", "b=1", "b=2", "b=4", "b=8"],
+    );
+    for id in four_models() {
+        let base = throughput(id, PlanMode::Baseline, 1);
+        for mode in modes {
+            let mut row = vec![id.display_name().to_string(), mode.label().to_string()];
+            for b in BATCHES {
+                row.push(fmt(throughput(id, mode, b) / base, 2));
+            }
+            t.push(row);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deepplan::ModelId;
+
+    #[test]
+    fn ptdha_wins_at_every_batch_size() {
+        for b in BATCHES {
+            let ps = throughput(ModelId::BertBase, PlanMode::PipeSwitch, b);
+            let dp = throughput(ModelId::BertBase, PlanMode::PtDha, b);
+            assert!(dp > ps, "batch {b}: {dp:.1} !> {ps:.1}");
+        }
+    }
+
+    #[test]
+    fn batching_narrows_the_gap() {
+        // Paper: "as the batch size increases, the throughput differences
+        // between DeepPlan (PT+DHA) and PipeSwitch become narrow" —
+        // batching grows compute, giving PipeSwitch more overlap.
+        let gap = |b: u32| {
+            throughput(ModelId::BertBase, PlanMode::PtDha, b)
+                / throughput(ModelId::BertBase, PlanMode::PipeSwitch, b)
+        };
+        assert!(
+            gap(8) < gap(1),
+            "gap(8) {:.2} !< gap(1) {:.2}",
+            gap(8),
+            gap(1)
+        );
+    }
+
+    #[test]
+    fn throughput_grows_with_batch() {
+        for mode in [PlanMode::Baseline, PlanMode::PtDha] {
+            let t1 = throughput(ModelId::ResNet50, mode, 1);
+            let t8 = throughput(ModelId::ResNet50, mode, 8);
+            assert!(t8 > t1, "{mode}: {t8:.1} !> {t1:.1}");
+        }
+    }
+}

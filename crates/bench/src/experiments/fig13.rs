@@ -1,0 +1,103 @@
+//! Figure 13 — serving BERT-Base under Poisson load: p99 latency, goodput
+//! and cold-start rate while the number of instances grows beyond GPU
+//! memory (100 requests/sec, SLO 100 ms, four V100s).
+
+use deepplan::{ModelId, PlanMode};
+
+use crate::experiments::serving::{run_poisson, SweepPoint};
+use crate::setup::SEED;
+use crate::table::{fmt, Table};
+
+/// Concurrency grid of the sweep (the paper steps by 20 up to 200).
+pub fn grid() -> Vec<usize> {
+    (20..=200).step_by(20).collect()
+}
+
+/// Modes compared in the figure.
+pub fn modes() -> [PlanMode; 3] {
+    [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha]
+}
+
+/// One sweep point with the figure's fixed parameters.
+pub fn point(mode: PlanMode, concurrency: usize, measured: usize) -> SweepPoint {
+    SweepPoint {
+        model: ModelId::BertBase,
+        mode,
+        concurrency,
+        rate: 100.0,
+        warmup: measured / 4,
+        measured,
+        seed: SEED,
+    }
+}
+
+/// Runs the sweep; `measured` requests per point (the paper uses 1,000).
+pub fn run_with(measured: usize) -> Table {
+    let mut t = Table::new(
+        "Figure 13 — serving BERT-Base, 100 rps Poisson, SLO 100 ms",
+        &[
+            "instances",
+            "PS p99",
+            "PS goodput",
+            "PS cold%",
+            "DHA p99",
+            "DHA goodput",
+            "DHA cold%",
+            "PT+DHA p99",
+            "PT+DHA goodput",
+            "PT+DHA cold%",
+        ],
+    );
+    for c in grid() {
+        let mut row = vec![c.to_string()];
+        for mode in modes() {
+            let mut r = run_poisson(point(mode, c, measured));
+            row.push(fmt(r.p99_ms(), 1));
+            row.push(fmt(r.goodput() * 100.0, 1));
+            row.push(fmt(r.cold_rate() * 100.0, 1));
+        }
+        t.push(row);
+    }
+    t
+}
+
+/// Runs the paper-scale sweep.
+pub fn run() -> Table {
+    run_with(2_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepplan_sustains_higher_concurrency() {
+        // Paper: PipeSwitch p99 blows up around 120 instances; DeepPlan
+        // (DHA) holds to ~160 and PT+DHA to ~180.
+        let measured = 1_200;
+        let at = |mode: PlanMode, c: usize| {
+            let mut r = run_poisson(point(mode, c, measured));
+            (r.p99_ms(), r.goodput())
+        };
+        let (ps_p99, _) = at(PlanMode::PipeSwitch, 160);
+        let (dha_p99, _) = at(PlanMode::Dha, 160);
+        let (pt_p99, pt_good) = at(PlanMode::PtDha, 160);
+        assert!(
+            dha_p99 < ps_p99,
+            "DHA p99 {dha_p99:.1} !< PipeSwitch {ps_p99:.1} at 160"
+        );
+        assert!(
+            pt_p99 < ps_p99,
+            "PT+DHA p99 {pt_p99:.1} !< PipeSwitch {ps_p99:.1} at 160"
+        );
+        assert!(pt_good > 0.9, "PT+DHA goodput {pt_good:.2} at 160");
+    }
+
+    #[test]
+    fn low_concurrency_all_modes_meet_slo() {
+        for mode in modes() {
+            let r = run_poisson(point(mode, 60, 800));
+            assert!(r.goodput() > 0.98, "{mode}: goodput {}", r.goodput());
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 14 — p99 latency sweeps for BERT-Large (30 rps) and GPT-2
+//! (90 rps), larger models at lower request rates.
+
+use deepplan::{ModelId, PlanMode};
+
+use crate::experiments::serving::{run_poisson, SweepPoint};
+use crate::setup::SEED;
+use crate::table::{fmt, Table};
+
+/// The two panels: (model, rate, SLO-scale note in the paper).
+pub fn panels() -> [(ModelId, f64); 2] {
+    [(ModelId::BertLarge, 30.0), (ModelId::Gpt2, 90.0)]
+}
+
+/// Concurrency grid per model: BERT-Large (1.3 GiB) oversubscribes the
+/// cache around 32 instances; GPT-2 (0.5 GiB) only beyond ~85.
+pub fn grid(model: ModelId) -> Vec<usize> {
+    match model {
+        ModelId::Gpt2 => (40..=160).step_by(20).collect(),
+        _ => (10..=70).step_by(10).collect(),
+    }
+}
+
+/// One sweep point.
+pub fn point(model: ModelId, rate: f64, mode: PlanMode, c: usize, measured: usize) -> SweepPoint {
+    SweepPoint {
+        model,
+        mode,
+        concurrency: c,
+        rate,
+        warmup: measured / 4,
+        measured,
+        seed: SEED,
+    }
+}
+
+/// Runs both panels; `measured` requests per point.
+pub fn run_with(measured: usize) -> Table {
+    let mut t = Table::new(
+        "Figure 14 — p99 latency (ms): BERT-Large @30 rps, GPT-2 @90 rps",
+        &[
+            "model",
+            "instances",
+            "PipeSwitch p99",
+            "DHA p99",
+            "PT+DHA p99",
+        ],
+    );
+    for (model, rate) in panels() {
+        for c in grid(model) {
+            let mut row = vec![model.display_name().to_string(), c.to_string()];
+            for mode in [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha] {
+                let mut r = run_poisson(point(model, rate, mode, c, measured));
+                row.push(fmt(r.p99_ms(), 1));
+            }
+            t.push(row);
+        }
+    }
+    t
+}
+
+/// Runs the paper-scale sweep.
+pub fn run() -> Table {
+    run_with(1_500)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepplan_improves_tail_latency_for_large_models() {
+        // Paper: "Our DeepPlan significantly improves the tail latency
+        // over PipeSwitch" for both models once memory is oversubscribed.
+        for (model, rate) in panels() {
+            let c = if model == ModelId::Gpt2 { 140 } else { 50 };
+            let measured = 900;
+            let mut ps = run_poisson(point(model, rate, PlanMode::PipeSwitch, c, measured));
+            let mut dp = run_poisson(point(model, rate, PlanMode::PtDha, c, measured));
+            assert!(
+                dp.p99_ms() <= ps.p99_ms(),
+                "{model}: PT+DHA {:.1} !<= PipeSwitch {:.1}",
+                dp.p99_ms(),
+                ps.p99_ms()
+            );
+        }
+    }
+
+    #[test]
+    fn gpt2_dha_and_ptdha_are_close() {
+        // Paper: "In GPT-2 the latency gap between DHA and PT+DHA is not
+        // noticeable."
+        let measured = 900;
+        let mut dha = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::Dha, 40, measured));
+        let mut pt = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::PtDha, 40, measured));
+        let (a, b) = (dha.p99_ms(), pt.p99_ms());
+        assert!(
+            (a - b).abs() / a.max(b) < 0.35,
+            "DHA {a:.1} vs PT+DHA {b:.1}"
+        );
+    }
+}

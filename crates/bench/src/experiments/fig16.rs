@@ -1,0 +1,42 @@
+//! Figure 16 — reproduction on a PCIe 4.0 system (2× RTX A5000 with an
+//! NVLink bridge).
+
+use gpu_topology::presets::a5000_dual;
+
+use crate::experiments::fig11;
+use crate::table::Table;
+
+/// Runs the mode × model grid on the A5000 machine.
+pub fn run() -> Table {
+    fig11::run_on(
+        &a5000_dual(),
+        "Figure 16 — single inference, batch 1, 2x RTX A5000 (PCIe 4.0)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use deepplan::{ModelId, PlanMode};
+    use gpu_topology::presets::{a5000_dual, p3_8xlarge};
+
+    use crate::experiments::fig11::latency_ms;
+
+    #[test]
+    fn improvement_trend_survives_pcie4() {
+        // Paper §5.4: the newer link shrinks absolute gaps but DeepPlan
+        // still wins on every model.
+        let m = a5000_dual();
+        for id in dnn_models::zoo::catalog() {
+            let ps = latency_ms(&m, id, PlanMode::PipeSwitch);
+            let ptdha = latency_ms(&m, id, PlanMode::PtDha);
+            assert!(ptdha < ps, "{id}: {ptdha:.2} !< {ps:.2}");
+        }
+    }
+
+    #[test]
+    fn pcie4_shrinks_cold_start_latency() {
+        let a = latency_ms(&a5000_dual(), ModelId::BertBase, PlanMode::PipeSwitch);
+        let v = latency_ms(&p3_8xlarge(), ModelId::BertBase, PlanMode::PipeSwitch);
+        assert!(a < 0.75 * v, "A5000 {a:.2} vs V100 {v:.2}");
+    }
+}

@@ -1,0 +1,17 @@
+//! One module per paper table/figure, plus repo-specific ablations.
+
+pub mod ablations;
+pub mod fig02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod serving;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;

@@ -1,0 +1,67 @@
+//! Shared serving-experiment driver for Figures 13/14/15.
+
+use deepplan::{ModelId, PlanMode};
+use dnn_models::zoo::build;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::catalog::DeployedModel;
+use model_serving::config::ServerConfig;
+use model_serving::metrics::ServingReport;
+use model_serving::server::run_server;
+use model_serving::workload::{poisson, Request};
+use simcore::time::SimTime;
+
+/// Parameters of one Poisson serving run.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Model served by every instance.
+    pub model: ModelId,
+    /// Execution mode for cold starts.
+    pub mode: PlanMode,
+    /// Number of deployed instances (the x-axis of Figures 13/14).
+    pub concurrency: usize,
+    /// Aggregate request rate (requests/sec).
+    pub rate: f64,
+    /// Warm-up requests (executed, not measured).
+    pub warmup: usize,
+    /// Measured requests.
+    pub measured: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Runs one Poisson sweep point and returns the report.
+pub fn run_poisson(p: SweepPoint) -> ServingReport {
+    let machine = p3_8xlarge();
+    let cfg = ServerConfig::paper_default(machine.clone(), p.mode);
+    let kind = DeployedModel::prepare(&build(p.model), &machine, p.mode, cfg.max_pt_gpus);
+    let instance_kinds = vec![0usize; p.concurrency];
+    let trace = poisson::generate(
+        p.rate,
+        p.concurrency,
+        p.warmup + p.measured,
+        SimTime::ZERO,
+        p.seed,
+    );
+    let measure_from = if p.warmup == 0 {
+        SimTime::ZERO
+    } else {
+        trace[p.warmup - 1].at
+    };
+    run_server(cfg, vec![kind], &instance_kinds, trace, measure_from)
+}
+
+/// Runs a pre-built trace over a model mix (Figure 15).
+pub fn run_mix(
+    mode: PlanMode,
+    kinds: &[ModelId],
+    instance_kinds: Vec<usize>,
+    trace: Vec<Request>,
+) -> ServingReport {
+    let machine = p3_8xlarge();
+    let cfg = ServerConfig::paper_default(machine.clone(), mode);
+    let deployed: Vec<DeployedModel> = kinds
+        .iter()
+        .map(|&id| DeployedModel::prepare(&build(id), &machine, mode, cfg.max_pt_gpus))
+        .collect();
+    run_server(cfg, deployed, &instance_kinds, trace, SimTime::ZERO)
+}

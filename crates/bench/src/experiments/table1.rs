@@ -1,0 +1,40 @@
+//! Table 1 — PCIe read-transaction counts: load vs direct-host-access.
+
+use dnn_models::costmodel::CostModel;
+use gpu_topology::device::v100;
+use layer_profiler::pcie;
+
+use crate::table::Table;
+
+/// Runs the PCIe transaction comparison.
+pub fn run() -> Table {
+    let rows = pcie::table1(&CostModel::new(v100()), 1);
+    let mut t = Table::new(
+        "Table 1 — PCIe read transactions: load vs direct-host-access",
+        &["layer", "size MiB", "load txns", "DHA txns"],
+    );
+    for r in rows {
+        t.push(vec![
+            r.label,
+            format!("{:.2}", r.size_mib),
+            r.txn_load.to_string(),
+            r.txn_dha.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counts_near_paper_values() {
+        let t = super::run();
+        let cell = |r: usize, c: usize| -> f64 { t.rows[r][c].parse().unwrap() };
+        // Paper: embedding large — load 1,465,112 vs DHA 18,459.
+        assert!((cell(1, 2) - 1_465_112.0).abs() / 1_465_112.0 < 0.02);
+        assert!((cell(1, 3) - 18_459.0).abs() / 18_459.0 < 0.05);
+        // FC small — load 36,920 vs DHA 446,276.
+        assert!((cell(4, 2) - 36_920.0).abs() / 36_920.0 < 0.02);
+        assert!((cell(4, 3) - 446_276.0).abs() / 446_276.0 < 0.05);
+    }
+}

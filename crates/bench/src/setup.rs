@@ -1,0 +1,64 @@
+//! Shared experiment plumbing.
+
+use std::sync::Arc;
+
+use deepplan::{DeepPlan, ModelId, PlanBundle, PlanMode};
+use dnn_models::zoo::{build_with_seq, ModelId as Mid};
+use exec_engine::runtime::ModelRuntime;
+use exec_planner::partition::partition_by_bytes;
+use exec_planner::plan::{ExecutionPlan, LayerExec};
+use gpu_topology::machine::Machine;
+
+/// Deterministic seed for all serving workloads.
+pub const SEED: u64 = 0xE0E5_2023;
+
+/// Plans `id` at `batch` under `mode` with exact (noise-free) profiles.
+pub fn bundle(machine: &Machine, id: ModelId, batch: u32, mode: PlanMode) -> PlanBundle {
+    DeepPlan::new(machine.clone())
+        .with_exact_profile()
+        .plan_mode(id, batch, mode)
+}
+
+/// The four models the paper uses for the transmission/batching/profiling
+/// studies (Figures 6/12, Tables 2/5).
+pub fn four_models() -> [ModelId; 4] {
+    [
+        Mid::ResNet50,
+        Mid::BertBase,
+        Mid::RobertaLarge,
+        Mid::Gpt2Medium,
+    ]
+}
+
+/// Builds an all-`Load` transfer plan with `k` byte-balanced partitions
+/// (used by the Figure 6 transmission experiments, which bypass the
+/// topology-driven slot count).
+pub fn manual_transfer_plan(
+    machine: &Machine,
+    id: ModelId,
+    k: usize,
+) -> (Arc<ModelRuntime>, Arc<ExecutionPlan>) {
+    let model = build_with_seq(id, id.default_seq());
+    let rt = ModelRuntime::new(&model, machine.gpu(0), 1);
+    let bytes = rt.param_bytes_vec();
+    let decisions: Vec<LayerExec> = bytes
+        .iter()
+        .map(|&b| {
+            if b > 0 {
+                LayerExec::Load
+            } else {
+                LayerExec::Dha
+            }
+        })
+        .collect();
+    let groups = partition_by_bytes(&bytes, k);
+    let plan = ExecutionPlan {
+        model: model.name.clone(),
+        batch: 1,
+        pipelined: true,
+        decisions,
+        partitions: groups,
+        block_bytes: None,
+    };
+    (rt, Arc::new(plan))
+}

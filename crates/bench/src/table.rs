@@ -1,0 +1,101 @@
+//! Plain-text/JSON result tables.
+
+use serde::Serialize;
+
+/// A rectangular result table with a title.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Title (e.g. `"Figure 11 — single-inference speedup"`).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of stringified cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Serialises to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("table serialises")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let line = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            let mut parts = Vec::new();
+            for (w, c) in widths.iter().zip(cells) {
+                parts.push(format!("{c:>w$}", w = w));
+            }
+            writeln!(f, "{}", parts.join("  "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn fmt(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut t = Table::new("T", &["name", "ms"]);
+        t.push(vec!["a".into(), "1.00".into()]);
+        t.push(vec!["longer".into(), "12.34".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## T"));
+        assert!(s.contains("longer  12.34"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.push(vec!["x".into()]);
+    }
+
+    #[test]
+    fn json_roundtrips_structurally() {
+        let mut t = Table::new("T", &["a"]);
+        t.push(vec!["1".into()]);
+        let j = t.to_json();
+        assert!(j.contains("\"title\": \"T\""));
+    }
+}

@@ -1,0 +1,214 @@
+//! `deepplan-cli` — generate, inspect and simulate execution plans.
+//!
+//! ```text
+//! deepplan-cli models
+//! deepplan-cli machines
+//! deepplan-cli profile bert-base [--machine p3|single|a5000] [--batch N]
+//! deepplan-cli plan bert-base [--mode pt+dha] [--budget-mib N] [--json]
+//! deepplan-cli simulate bert-base [--mode pt+dha] [--batch N]
+//! ```
+
+use deepplan::excerpt::{excerpt, format_excerpt};
+use deepplan::{DeepPlan, ModelId, PlanMode};
+use dnn_models::zoo::catalog;
+use gpu_topology::machine::Machine;
+use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
+
+struct Args {
+    cmd: String,
+    model: Option<ModelId>,
+    mode: PlanMode,
+    machine: Machine,
+    batch: u32,
+    budget_mib: Option<u64>,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: deepplan-cli <models|machines|profile|plan|simulate> [model] \
+         [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
+         [--batch N] [--budget-mib N] [--json]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_model(s: &str) -> Option<ModelId> {
+    let norm = s.to_lowercase().replace('_', "-");
+    catalog()
+        .into_iter()
+        .find(|id| id.display_name().to_lowercase().replace(' ', "-") == norm)
+        .or(match norm.as_str() {
+            "bert" => Some(ModelId::BertBase),
+            "roberta" => Some(ModelId::RobertaBase),
+            "gpt2" => Some(ModelId::Gpt2),
+            "gpt2-medium" => Some(ModelId::Gpt2Medium),
+            "resnet50" => Some(ModelId::ResNet50),
+            "resnet101" => Some(ModelId::ResNet101),
+            _ => None,
+        })
+}
+
+fn parse() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else { usage() };
+    let mut args = Args {
+        cmd: cmd.clone(),
+        model: None,
+        mode: PlanMode::PtDha,
+        machine: p3_8xlarge(),
+        batch: 1,
+        budget_mib: None,
+        json: false,
+    };
+    let mut it = argv.iter().skip(1).peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--mode" => {
+                args.mode = match it.next().map(|s| s.to_lowercase()) {
+                    Some(m) => match m.as_str() {
+                        "baseline" => PlanMode::Baseline,
+                        "pipeswitch" | "ps" => PlanMode::PipeSwitch,
+                        "dha" => PlanMode::Dha,
+                        "pt" => PlanMode::Pt,
+                        "pt+dha" | "ptdha" => PlanMode::PtDha,
+                        _ => usage(),
+                    },
+                    None => usage(),
+                }
+            }
+            "--machine" => {
+                args.machine = match it.next().map(|s| s.to_lowercase()) {
+                    Some(m) => match m.as_str() {
+                        "p3" | "p3.8xlarge" => p3_8xlarge(),
+                        "single" | "v100" => single_v100(),
+                        "a5000" => a5000_dual(),
+                        "dgx1" => dgx1_like(),
+                        _ => usage(),
+                    },
+                    None => usage(),
+                }
+            }
+            "--batch" => {
+                args.batch = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--budget-mib" => {
+                args.budget_mib = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--json" => args.json = true,
+            other => match parse_model(other) {
+                Some(m) => args.model = Some(m),
+                None => {
+                    eprintln!("unknown model or flag '{other}'");
+                    usage()
+                }
+            },
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse();
+    match args.cmd.as_str() {
+        "models" => {
+            for id in catalog() {
+                let m = dnn_models::zoo::build(id);
+                println!(
+                    "{:<14} {:>7.1} MiB  {:>4} layers  seq {}",
+                    id.display_name(),
+                    m.param_mib(),
+                    m.layer_count(),
+                    m.seq_len
+                );
+            }
+        }
+        "machines" => {
+            for m in [p3_8xlarge(), single_v100(), a5000_dual(), dgx1_like()] {
+                println!(
+                    "{:<18} {} GPU(s), {} PCIe switch(es), NVLink: {}",
+                    m.name,
+                    m.gpu_count(),
+                    m.switch_count,
+                    if m.nvlink.is_some() { "yes" } else { "no" }
+                );
+            }
+        }
+        "profile" => {
+            let id = args.model.unwrap_or_else(|| usage());
+            let dp = DeepPlan::new(args.machine.clone());
+            let b = dp.plan_mode(id, args.batch, PlanMode::PipeSwitch);
+            println!(
+                "{} on {} (batch {}): {} layers, {:.1} MiB",
+                id,
+                args.machine.name,
+                args.batch,
+                b.profile.layers.len(),
+                b.profile.param_bytes() as f64 / (1 << 20) as f64
+            );
+            println!(
+                "load total {:.2} ms, warm exec total {:.2} ms, profiling cost {:.2} s",
+                b.profile.load_total().as_ms_f64(),
+                b.profile.exec_inmem_total().as_ms_f64(),
+                b.profiling_cost.total().as_secs_f64()
+            );
+            if args.json {
+                println!("{}", b.profile.to_json());
+            }
+        }
+        "plan" => {
+            let id = args.model.unwrap_or_else(|| usage());
+            let dp = DeepPlan::new(args.machine.clone());
+            let b = match args.budget_mib {
+                Some(mib) => dp.plan_with_budget(id, args.batch, mib << 20),
+                None => dp.plan_mode(id, args.batch, args.mode),
+            };
+            println!(
+                "{} / {} / batch {}: {} GPU slot(s), resident {} MiB, host {} MiB",
+                id,
+                args.mode,
+                args.batch,
+                b.plan.gpu_slots(),
+                b.resident_bytes() >> 20,
+                b.host_bytes() >> 20
+            );
+            println!(
+                "front: {}",
+                format_excerpt(&excerpt(&b.profile, &b.plan, 0, 8))
+            );
+            println!(
+                "estimated cold latency: {:.2} ms",
+                b.estimate().total.as_ms_f64()
+            );
+            if args.json {
+                println!("{}", b.plan.to_json());
+            }
+        }
+        "simulate" => {
+            let id = args.model.unwrap_or_else(|| usage());
+            let dp = DeepPlan::new(args.machine.clone());
+            let b = dp.plan_mode(id, args.batch, args.mode);
+            let cold = b.simulate_cold(0);
+            let warm = b.simulate_warm(0);
+            println!(
+                "{} / {} / batch {} on {}:",
+                id, args.mode, args.batch, args.machine.name
+            );
+            println!(
+                "  cold: {:.2} ms (stall {:.2} ms, {:.0}%)",
+                cold.latency().as_ms_f64(),
+                cold.stall.as_ms_f64(),
+                cold.stall_fraction() * 100.0
+            );
+            println!("  warm: {:.2} ms", warm.latency().as_ms_f64());
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,130 @@
+//! A deployable planning result.
+
+use std::sync::Arc;
+
+use exec_engine::result::InferenceResult;
+use exec_engine::runtime::ModelRuntime;
+use exec_engine::single::{run_cold, run_warm};
+use exec_planner::generate::PlanMode;
+use exec_planner::plan::ExecutionPlan;
+use exec_planner::stall::{estimate_pipeline, ScheduleEstimate};
+use gpu_topology::machine::Machine;
+use gpu_topology::select::pt_group;
+use layer_profiler::cost::ProfilingCost;
+use layer_profiler::profile::ModelProfile;
+
+/// Everything DeepPlan produced for one (model, machine, batch, mode).
+#[derive(Clone)]
+pub struct PlanBundle {
+    /// Machine the plan targets.
+    pub machine: Machine,
+    /// Mode the plan was generated under.
+    pub mode: PlanMode,
+    /// The per-layer performance table from the pre-run.
+    pub profile: ModelProfile,
+    /// The generated plan.
+    pub plan: Arc<ExecutionPlan>,
+    /// Engine runtime table at the plan's batch size.
+    pub runtime: Arc<ModelRuntime>,
+    /// Simulated wall-clock cost of the pre-run (Table 5).
+    pub profiling_cost: ProfilingCost,
+}
+
+impl PlanBundle {
+    /// The planner's analytic latency estimate for this plan.
+    pub fn estimate(&self) -> ScheduleEstimate {
+        estimate_pipeline(&self.profile, &self.plan.decisions, self.plan.pipelined)
+    }
+
+    /// GPU memory a resident instance of this plan occupies.
+    pub fn resident_bytes(&self) -> u64 {
+        self.plan.resident_bytes(&self.runtime.param_bytes_vec())
+    }
+
+    /// Bytes left pinned on the host (DHA layers).
+    pub fn host_bytes(&self) -> u64 {
+        self.plan.host_bytes(&self.runtime.param_bytes_vec())
+    }
+
+    /// Topology-chosen secondary GPUs for a cold start from `primary`.
+    pub fn secondaries_for(&self, primary: usize) -> Vec<usize> {
+        if self.plan.gpu_slots() <= 1 {
+            return Vec::new();
+        }
+        pt_group(&self.machine, primary, self.plan.gpu_slots())
+            .map(|g| g.into_iter().skip(1).collect())
+            .unwrap_or_default()
+    }
+
+    /// Simulates one cold start from `primary` on an otherwise idle
+    /// machine.
+    pub fn simulate_cold(&self, primary: usize) -> InferenceResult {
+        run_cold(
+            self.machine.clone(),
+            self.runtime.clone(),
+            self.plan.clone(),
+            primary,
+            self.secondaries_for(primary),
+        )
+    }
+
+    /// Simulates one warm inference on `primary`.
+    pub fn simulate_warm(&self, primary: usize) -> InferenceResult {
+        run_warm(
+            self.machine.clone(),
+            self.runtime.clone(),
+            self.plan.clone(),
+            primary,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::DeepPlan;
+    use dnn_models::zoo::ModelId;
+    use gpu_topology::presets::p3_8xlarge;
+
+    fn bundle(mode: PlanMode) -> PlanBundle {
+        DeepPlan::new(p3_8xlarge())
+            .with_exact_profile()
+            .plan_mode(ModelId::BertBase, 1, mode)
+    }
+
+    #[test]
+    fn estimate_tracks_engine_for_single_gpu_plans() {
+        let b = bundle(PlanMode::Dha);
+        let est = b.estimate().total.as_ms_f64();
+        let got = b.simulate_cold(0).latency().as_ms_f64();
+        assert!(
+            ((est - got) / got).abs() < 0.05,
+            "estimate {est:.2} vs engine {got:.2}"
+        );
+    }
+
+    #[test]
+    fn byte_split_adds_up() {
+        let b = bundle(PlanMode::PtDha);
+        assert_eq!(b.resident_bytes() + b.host_bytes(), b.runtime.total_bytes);
+        assert!(b.host_bytes() > 0);
+    }
+
+    #[test]
+    fn secondaries_cross_switches() {
+        let b = bundle(PlanMode::PtDha);
+        let secs = b.secondaries_for(0);
+        assert_eq!(secs.len(), 1);
+        assert_ne!(b.machine.switch_of(0), b.machine.switch_of(secs[0]));
+    }
+
+    #[test]
+    fn cold_beats_baseline_and_loses_to_warm() {
+        let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+        let dha = dp.plan_mode(ModelId::BertBase, 1, PlanMode::PtDha);
+        let base = dp.plan_mode(ModelId::BertBase, 1, PlanMode::Baseline);
+        let cold = dha.simulate_cold(0).latency();
+        assert!(cold < base.simulate_cold(0).latency());
+        assert!(cold > dha.simulate_warm(0).latency());
+    }
+}

@@ -1,0 +1,98 @@
+//! Human-readable plan excerpts (the paper's Table 3 format).
+
+use exec_planner::plan::{ExecutionPlan, LayerExec};
+use layer_profiler::profile::ModelProfile;
+
+/// One row of a plan excerpt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExcerptRow {
+    /// Layer index.
+    pub index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Class label (`Emb`, `Conv`, `FC`, ...).
+    pub class: String,
+    /// `'O'` = load, `'X'` = direct-host-access (Table 3 notation).
+    pub mark: char,
+}
+
+/// Extracts rows `[from, from+len)` of a plan over parameter-bearing
+/// layers only (parameter-free layers have no placement decision).
+pub fn excerpt(
+    profile: &ModelProfile,
+    plan: &ExecutionPlan,
+    from: usize,
+    len: usize,
+) -> Vec<ExcerptRow> {
+    profile
+        .layers
+        .iter()
+        .zip(&plan.decisions)
+        .enumerate()
+        .filter(|(_, (l, _))| l.has_params())
+        .skip(from)
+        .take(len)
+        .map(|(i, (l, d))| ExcerptRow {
+            index: i,
+            name: l.name.clone(),
+            class: l.class.clone(),
+            mark: match d {
+                LayerExec::Load => 'O',
+                LayerExec::Dha => 'X',
+            },
+        })
+        .collect()
+}
+
+/// Formats rows as a compact single-line table
+/// (`0:Emb=X | 1:Emb=O | ...`).
+pub fn format_excerpt(rows: &[ExcerptRow]) -> String {
+    rows.iter()
+        .map(|r| format!("{}:{}={}", r.index, r.class, r.mark))
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::DeepPlan;
+    use dnn_models::zoo::ModelId;
+    use exec_planner::generate::PlanMode;
+    use gpu_topology::presets::single_v100;
+
+    #[test]
+    fn gpt2_front_matches_table_3b() {
+        // Table 3b (DeepPlan DHA): wte=X, then wpe/ln/fc/fc loaded.
+        let dp = DeepPlan::new(single_v100()).with_exact_profile();
+        let b = dp.plan_mode(ModelId::Gpt2, 1, PlanMode::Dha);
+        let rows = excerpt(&b.profile, &b.plan, 0, 5);
+        assert_eq!(rows[0].class, "Emb");
+        assert_eq!(rows[0].mark, 'X', "word embedding must be DHA");
+        let classes: Vec<&str> = rows.iter().map(|r| r.class.as_str()).collect();
+        assert_eq!(classes, vec!["Emb", "Emb", "LN", "FC", "FC"]);
+        // LayerNorm and the FCs stay loaded, as in the paper.
+        assert_eq!(rows[2].mark, 'O');
+        assert_eq!(rows[3].mark, 'O');
+        assert_eq!(rows[4].mark, 'O');
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        let rows = vec![
+            ExcerptRow {
+                index: 0,
+                name: "wte".into(),
+                class: "Emb".into(),
+                mark: 'X',
+            },
+            ExcerptRow {
+                index: 3,
+                name: "fc".into(),
+                class: "FC".into(),
+                mark: 'O',
+            },
+        ];
+        assert_eq!(format_excerpt(&rows), "0:Emb=X | 3:FC=O");
+    }
+}

@@ -1,0 +1,43 @@
+//! # DeepPlan
+//!
+//! A reproduction of *"Fast and Efficient Model Serving Using Multi-GPUs
+//! with Direct-Host-Access"* (EuroSys '23): an inference execution planner
+//! that minimises cold-start latency when DL models must be provisioned
+//! from host to GPU memory, by combining
+//!
+//! * **direct-host-access (DHA)** — executing selected layers straight
+//!   from pinned host memory instead of loading them, and
+//! * **parallel transmission (PT)** — splitting the model across the PCIe
+//!   lanes of multiple GPUs and merging partitions over NVLink.
+//!
+//! The hardware substrate is a calibrated discrete-event simulation (this
+//! repo runs without GPUs); the planner, profiler and serving system are
+//! real reusable components layered on top.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use deepplan::{DeepPlan, ModelId, PlanMode};
+//! use gpu_topology::presets::p3_8xlarge;
+//!
+//! let dp = DeepPlan::new(p3_8xlarge());
+//! let bundle = dp.plan(ModelId::BertBase, 1);
+//! let cold = bundle.simulate_cold(0);
+//! let warm = bundle.simulate_warm(0);
+//! assert!(cold.latency() > warm.latency());
+//!
+//! // Compare against the PipeSwitch baseline.
+//! let ps = dp.plan_mode(ModelId::BertBase, 1, PlanMode::PipeSwitch);
+//! assert!(cold.latency() < ps.simulate_cold(0).latency());
+//! ```
+
+pub mod bundle;
+pub mod excerpt;
+pub mod planner;
+
+pub use bundle::PlanBundle;
+pub use dnn_models::zoo::ModelId;
+pub use exec_engine::result::InferenceResult;
+pub use exec_planner::generate::PlanMode;
+pub use exec_planner::plan::{ExecutionPlan, LayerExec};
+pub use planner::DeepPlan;

@@ -1,0 +1,78 @@
+//! Calibration constants for the analytic cost model.
+//!
+//! Every tunable of the reproduction lives here, each tied to the paper
+//! evidence it was fitted against. Changing a constant here re-shapes all
+//! experiments consistently.
+
+/// PCIe transaction payload (cache-line size), bytes. Paper §3.1: "the
+/// payload size in transferring through PCIe is 64B".
+pub const PCIE_TXN_BYTES: u64 = 64;
+
+/// Rows-per-tile reuse for FC/LayerNorm weight streaming under DHA.
+///
+/// Table 1 shows DHA on FC layers issuing ≈12× the transactions of a full
+/// load at sequence length 384 ⇒ weights are re-read once per 32-token
+/// tile.
+pub const LINEAR_REUSE_TILE: u64 = 32;
+
+/// Convolution weight re-stream factor under DHA (Table 1: 65,891/36,869 ≈
+/// 1.79 and 273,487/147,465 ≈ 1.85 for the medium/large ResNet convs).
+pub const CONV_DHA_REUSE: f64 = 1.85;
+
+/// Fraction of the PCIe link a DHA *gather* (embedding lookup) sustains —
+/// random row reads are latency-bound.
+pub const DHA_EFF_GATHER: f64 = 0.80;
+
+/// Fraction of the PCIe link a DHA *stream* (dense weight read) sustains.
+pub const DHA_EFF_STREAM: f64 = 0.85;
+
+/// Kernel launch / framework dispatch overhead per layer, nanoseconds.
+///
+/// Fitted so that warm batch-1 latencies land near the paper's anchors
+/// (BERT-Base ≈ 9.35 ms on V100; ResNet-50 in the 6–8 ms PyTorch-eager
+/// range) and so Figure 2's stall shares reproduce.
+pub mod launch_ns {
+    /// cuDNN convolution (algo selection, workspace setup).
+    pub const CONV: u64 = 80_000;
+    /// cuBLAS GEMM behind `nn.Linear`.
+    pub const LINEAR: u64 = 20_000;
+    /// LayerNorm.
+    pub const LAYER_NORM: u64 = 15_000;
+    /// BatchNorm (inference mode).
+    pub const BATCH_NORM: u64 = 30_000;
+    /// Elementwise activation (ReLU/GELU).
+    pub const ACTIVATION: u64 = 20_000;
+    /// Embedding gather.
+    pub const EMBEDDING: u64 = 20_000;
+    /// Fused attention score/softmax/context block.
+    pub const ATTENTION: u64 = 30_000;
+    /// Pooling.
+    pub const POOL: u64 = 20_000;
+}
+
+/// Measurement jitter (log-normal sigma) the simulated profiler applies,
+/// mimicking run-to-run variance of real pre-runs. Zero ⇒ noise-free.
+pub const PROFILE_JITTER_SIGMA: f64 = 0.02;
+
+/// Bytes of GPU memory DeepPlan reserves per GPU as the staging area for
+/// parallel-transmission forwarding (paper §4.2 "we reserve a small amount
+/// of memory for storing layers temporarily").
+pub const PT_STAGING_BYTES: u64 = 512 << 20;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_factors_match_table1_ratios() {
+        // seq 384 / tile 32 = 12, Table 1 FC ratio 446,276/36,920 ≈ 12.09.
+        assert_eq!(384 / LINEAR_REUSE_TILE, 12);
+        assert!((CONV_DHA_REUSE - 273_487.0 / 147_465.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn efficiencies_are_fractions() {
+        assert!(DHA_EFF_GATHER > 0.0 && DHA_EFF_GATHER <= 1.0);
+        assert!(DHA_EFF_STREAM > 0.0 && DHA_EFF_STREAM <= 1.0);
+    }
+}

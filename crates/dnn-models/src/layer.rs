@@ -1,0 +1,421 @@
+//! Layer descriptors.
+//!
+//! A [`Layer`] is one schedulable unit of a model: the granularity at
+//! which PipeSwitch/DeepPlan load, pipeline and (for DeepPlan) choose
+//! between load-then-execute and direct-host-access. Parameter-free ops
+//! (activations, pooling, attention score blocks) are kept in the list —
+//! they contribute execution time that hides loading — but carry zero
+//! bytes to transfer.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape/semantics of a layer, with everything the cost model needs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Token/position/type embedding table.
+    Embedding {
+        /// Number of rows (vocabulary / positions / types).
+        rows: u64,
+        /// Embedding dimension.
+        dim: u64,
+        /// Rows gathered per batch item (sequence length for token and
+        /// position tables, 1 for type tables).
+        lookups_per_item: u64,
+    },
+    /// 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        c_in: u64,
+        /// Output channels.
+        c_out: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output spatial height.
+        out_h: u64,
+        /// Output spatial width.
+        out_w: u64,
+    },
+    /// Fully-connected layer applied per token.
+    Linear {
+        /// Input features.
+        d_in: u64,
+        /// Output features.
+        d_out: u64,
+        /// Tokens per batch item the layer is applied to (1 for heads
+        /// like ResNet's classifier).
+        tokens_per_item: u64,
+    },
+    /// BatchNorm over `channels` at the given spatial size (inference).
+    BatchNorm {
+        /// Channel count.
+        channels: u64,
+        /// Spatial elements (H×W).
+        spatial: u64,
+    },
+    /// LayerNorm over `dim`, applied per token.
+    LayerNorm {
+        /// Normalised dimension.
+        dim: u64,
+        /// Tokens per batch item.
+        tokens_per_item: u64,
+    },
+    /// Attention score/softmax/context block (parameter-free; the Q/K/V/O
+    /// projections are separate [`LayerKind::Linear`] layers).
+    Attention {
+        /// Model dimension.
+        dim: u64,
+        /// Tokens per batch item.
+        tokens_per_item: u64,
+    },
+    /// Elementwise activation over `elems_per_item` values.
+    Activation {
+        /// Elements touched per batch item.
+        elems_per_item: u64,
+    },
+    /// Pooling over `elems_per_item` input values.
+    Pool {
+        /// Elements read per batch item.
+        elems_per_item: u64,
+    },
+    /// Mixture-of-experts FFN bank (paper §7 extension): `experts_total`
+    /// expert MLPs of which a forward pass *computes* `experts_active`
+    /// and a cold start *transfers* `experts_loaded` (= `experts_active`
+    /// when the gate is known before provisioning — expert-aware
+    /// loading — or `experts_total` when it is not).
+    MoeFfn {
+        /// Experts in the bank.
+        experts_total: u64,
+        /// Experts a forward pass routes tokens to.
+        experts_active: u64,
+        /// Experts a cold start must transfer.
+        experts_loaded: u64,
+        /// Model dimension.
+        d_model: u64,
+        /// Expert hidden dimension.
+        d_hidden: u64,
+        /// Tokens per batch item.
+        tokens_per_item: u64,
+    },
+}
+
+/// One schedulable layer of a model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name, unique within its model (e.g. `"h3.ffn.fc1"`).
+    pub name: String,
+    /// Shape description.
+    pub kind: LayerKind,
+}
+
+/// Bytes per FP32 scalar.
+const F32: u64 = 4;
+
+impl Layer {
+    /// Creates a layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Parameter bytes this layer must have resident (or host-mapped) to
+    /// execute. FP32 weights; biases included for Linear/Conv.
+    pub fn param_bytes(&self) -> u64 {
+        match self.kind {
+            LayerKind::Embedding { rows, dim, .. } => rows * dim * F32,
+            LayerKind::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                ..
+            } => (kernel * kernel * c_in * c_out + c_out) * F32,
+            LayerKind::Linear { d_in, d_out, .. } => (d_in * d_out + d_out) * F32,
+            LayerKind::BatchNorm { channels, .. } => 4 * channels * F32,
+            LayerKind::LayerNorm { dim, .. } => 2 * dim * F32,
+            LayerKind::MoeFfn {
+                experts_total,
+                d_model,
+                d_hidden,
+                ..
+            } => experts_total * expert_params(d_model, d_hidden) * F32,
+            LayerKind::Attention { .. } | LayerKind::Activation { .. } | LayerKind::Pool { .. } => {
+                0
+            }
+        }
+    }
+
+    /// Bytes a cold start must transfer to execute the layer on-GPU.
+    ///
+    /// Equals [`Layer::param_bytes`] for every dense layer; for MoE banks
+    /// it is the loaded-experts fraction (expert-aware loading, §7).
+    pub fn transfer_bytes(&self) -> u64 {
+        match self.kind {
+            LayerKind::MoeFfn {
+                experts_total,
+                experts_loaded,
+                d_model,
+                d_hidden,
+                ..
+            } => experts_loaded.min(experts_total) * expert_params(d_model, d_hidden) * F32,
+            _ => self.param_bytes(),
+        }
+    }
+
+    /// Forward FLOPs per batch item (multiply-accumulate counted as 2).
+    pub fn flops_per_item(&self) -> f64 {
+        match self.kind {
+            LayerKind::Embedding {
+                dim,
+                lookups_per_item,
+                ..
+            } => (lookups_per_item * dim) as f64,
+            LayerKind::Conv2d {
+                c_in,
+                c_out,
+                kernel,
+                out_h,
+                out_w,
+            } => 2.0 * (kernel * kernel * c_in * c_out * out_h * out_w) as f64,
+            LayerKind::Linear {
+                d_in,
+                d_out,
+                tokens_per_item,
+            } => 2.0 * (d_in * d_out * tokens_per_item) as f64,
+            LayerKind::BatchNorm { channels, spatial } => 4.0 * (channels * spatial) as f64,
+            LayerKind::LayerNorm {
+                dim,
+                tokens_per_item,
+            } => 8.0 * (dim * tokens_per_item) as f64,
+            LayerKind::Attention {
+                dim,
+                tokens_per_item,
+            } => 4.0 * (tokens_per_item * tokens_per_item * dim) as f64,
+            LayerKind::Activation { elems_per_item } => elems_per_item as f64,
+            LayerKind::Pool { elems_per_item } => elems_per_item as f64,
+            LayerKind::MoeFfn {
+                d_model,
+                d_hidden,
+                tokens_per_item,
+                ..
+            } => {
+                // Every token passes through exactly one expert MLP
+                // (top-1 routing), so compute matches a dense FFN of the
+                // same shapes regardless of the expert count.
+                4.0 * (d_model * d_hidden * tokens_per_item) as f64
+            }
+        }
+    }
+
+    /// Activation bytes read+written per batch item (device memory
+    /// traffic besides weights).
+    pub fn act_bytes_per_item(&self) -> f64 {
+        let f32b = F32 as f64;
+        match self.kind {
+            LayerKind::Embedding {
+                dim,
+                lookups_per_item,
+                ..
+            } => 2.0 * (lookups_per_item * dim) as f64 * f32b,
+            LayerKind::Conv2d {
+                c_in,
+                c_out,
+                out_h,
+                out_w,
+                kernel,
+            } => {
+                // Input read once (upper bound: stride-1 same-size) +
+                // output written once.
+                let input = (c_in * out_h * out_w * kernel.min(2)) as f64;
+                let output = (c_out * out_h * out_w) as f64;
+                (input + output) * f32b
+            }
+            LayerKind::Linear {
+                d_in,
+                d_out,
+                tokens_per_item,
+            } => ((d_in + d_out) * tokens_per_item) as f64 * f32b,
+            LayerKind::BatchNorm { channels, spatial } => 2.0 * (channels * spatial) as f64 * f32b,
+            LayerKind::LayerNorm {
+                dim,
+                tokens_per_item,
+            } => 2.0 * (dim * tokens_per_item) as f64 * f32b,
+            LayerKind::Attention {
+                dim,
+                tokens_per_item,
+            } => {
+                (3.0 * (tokens_per_item * dim) as f64
+                    + 2.0 * (tokens_per_item * tokens_per_item) as f64)
+                    * f32b
+            }
+            LayerKind::Activation { elems_per_item } => 2.0 * elems_per_item as f64 * f32b,
+            LayerKind::Pool { elems_per_item } => elems_per_item as f64 * f32b,
+            LayerKind::MoeFfn {
+                d_model,
+                tokens_per_item,
+                ..
+            } => 2.0 * (d_model * tokens_per_item) as f64 * f32b,
+        }
+    }
+
+    /// Output activation bytes per batch item (what must cross NVLink if
+    /// the *next* layer executes on a different GPU under distributed
+    /// execution).
+    pub fn out_bytes_per_item(&self) -> f64 {
+        let f32b = F32 as f64;
+        match self.kind {
+            LayerKind::Embedding {
+                dim,
+                lookups_per_item,
+                ..
+            } => (lookups_per_item * dim) as f64 * f32b,
+            LayerKind::Conv2d {
+                c_out,
+                out_h,
+                out_w,
+                ..
+            } => (c_out * out_h * out_w) as f64 * f32b,
+            LayerKind::Linear {
+                d_out,
+                tokens_per_item,
+                ..
+            } => (d_out * tokens_per_item) as f64 * f32b,
+            LayerKind::BatchNorm { channels, spatial } => (channels * spatial) as f64 * f32b,
+            LayerKind::LayerNorm {
+                dim,
+                tokens_per_item,
+            }
+            | LayerKind::Attention {
+                dim,
+                tokens_per_item,
+            } => (dim * tokens_per_item) as f64 * f32b,
+            LayerKind::Activation { elems_per_item } => elems_per_item as f64 * f32b,
+            LayerKind::Pool { elems_per_item } => elems_per_item as f64 * f32b / 4.0,
+            LayerKind::MoeFfn {
+                d_model,
+                tokens_per_item,
+                ..
+            } => (d_model * tokens_per_item) as f64 * f32b,
+        }
+    }
+
+    /// Weight bytes a single forward pass actually reads from device
+    /// memory (the active experts for MoE banks; everything otherwise).
+    pub fn compute_weight_bytes(&self) -> u64 {
+        match self.kind {
+            LayerKind::MoeFfn {
+                experts_total,
+                experts_active,
+                d_model,
+                d_hidden,
+                ..
+            } => experts_active.min(experts_total) * expert_params(d_model, d_hidden) * F32,
+            _ => self.param_bytes(),
+        }
+    }
+
+    /// Whether the layer has parameters to place (load vs DHA decision).
+    pub fn has_params(&self) -> bool {
+        self.param_bytes() > 0
+    }
+
+    /// Short class label for reports (matches the paper's Table 3 labels).
+    pub fn class_label(&self) -> &'static str {
+        match self.kind {
+            LayerKind::Embedding { .. } => "Emb",
+            LayerKind::Conv2d { .. } => "Conv",
+            LayerKind::Linear { .. } => "FC",
+            LayerKind::BatchNorm { .. } => "BN",
+            LayerKind::LayerNorm { .. } => "LN",
+            LayerKind::Attention { .. } => "Attn",
+            LayerKind::Activation { .. } => "Act",
+            LayerKind::Pool { .. } => "Pool",
+            LayerKind::MoeFfn { .. } => "MoE",
+        }
+    }
+}
+
+/// Parameter count (scalars) of one expert MLP: fc1 + fc2 with biases.
+fn expert_params(d_model: u64, d_hidden: u64) -> u64 {
+    d_model * d_hidden + d_hidden + d_hidden * d_model + d_model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_word_embedding_size_matches_paper() {
+        // Paper §3.1: the BERT-Base word embedding is 89.42 MiB.
+        let l = Layer::new(
+            "emb.word",
+            LayerKind::Embedding {
+                rows: 30_522,
+                dim: 768,
+                lookups_per_item: 384,
+            },
+        );
+        let mib = l.param_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((mib - 89.42).abs() < 0.05, "got {mib} MiB");
+    }
+
+    #[test]
+    fn linear_params_include_bias() {
+        let l = Layer::new(
+            "fc",
+            LayerKind::Linear {
+                d_in: 768,
+                d_out: 768,
+                tokens_per_item: 384,
+            },
+        );
+        assert_eq!(l.param_bytes(), (768 * 768 + 768) * 4);
+        assert!(l.has_params());
+    }
+
+    #[test]
+    fn paramfree_layers_have_zero_bytes() {
+        let a = Layer::new("relu", LayerKind::Activation { elems_per_item: 10 });
+        let p = Layer::new("pool", LayerKind::Pool { elems_per_item: 10 });
+        let t = Layer::new(
+            "attn",
+            LayerKind::Attention {
+                dim: 768,
+                tokens_per_item: 384,
+            },
+        );
+        for l in [a, p, t] {
+            assert_eq!(l.param_bytes(), 0);
+            assert!(!l.has_params());
+            assert!(l.flops_per_item() > 0.0);
+        }
+    }
+
+    #[test]
+    fn conv_flops_formula() {
+        let l = Layer::new(
+            "conv",
+            LayerKind::Conv2d {
+                c_in: 64,
+                c_out: 64,
+                kernel: 3,
+                out_h: 56,
+                out_w: 56,
+            },
+        );
+        let expect = 2.0 * 9.0 * 64.0 * 64.0 * 56.0 * 56.0;
+        assert_eq!(l.flops_per_item(), expect);
+    }
+
+    #[test]
+    fn class_labels() {
+        let l = Layer::new(
+            "ln",
+            LayerKind::LayerNorm {
+                dim: 768,
+                tokens_per_item: 384,
+            },
+        );
+        assert_eq!(l.class_label(), "LN");
+    }
+}

@@ -1,0 +1,93 @@
+//! Whole-model descriptors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Layer;
+
+/// Architectural family, used by reports and the serving mix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelFamily {
+    /// Convolutional vision models (ResNet).
+    Cnn,
+    /// Bidirectional transformer encoders (BERT, RoBERTa).
+    Encoder,
+    /// Autoregressive transformer decoders (GPT-2).
+    Decoder,
+}
+
+/// A model: an ordered list of layers plus its canonical input shape.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Model {
+    /// Display name (e.g. `"BERT-Base"`).
+    pub name: String,
+    /// Family tag.
+    pub family: ModelFamily,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+    /// Sequence length the NLP layers were instantiated for (1 for CNNs).
+    pub seq_len: u64,
+}
+
+impl Model {
+    /// Total parameter bytes across all layers.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes()).sum()
+    }
+
+    /// Total parameter count (FP32 assumed).
+    pub fn param_count(&self) -> u64 {
+        self.param_bytes() / 4
+    }
+
+    /// Number of layers (all kinds).
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Number of parameter-bearing layers (transfer units).
+    pub fn loadable_layer_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.has_params()).count()
+    }
+
+    /// Parameter bytes in MiB, as the paper reports sizes.
+    pub fn param_mib(&self) -> f64 {
+        self.param_bytes() as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Index of the layer with the given name.
+    pub fn layer_index(&self, name: &str) -> Option<usize> {
+        self.layers.iter().position(|l| l.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn totals_sum_over_layers() {
+        let m = Model {
+            name: "toy".into(),
+            family: ModelFamily::Encoder,
+            layers: vec![
+                Layer::new(
+                    "a",
+                    LayerKind::Linear {
+                        d_in: 10,
+                        d_out: 10,
+                        tokens_per_item: 1,
+                    },
+                ),
+                Layer::new("b", LayerKind::Activation { elems_per_item: 10 }),
+            ],
+            seq_len: 1,
+        };
+        assert_eq!(m.param_bytes(), (100 + 10) * 4);
+        assert_eq!(m.param_count(), 110);
+        assert_eq!(m.layer_count(), 2);
+        assert_eq!(m.loadable_layer_count(), 1);
+        assert_eq!(m.layer_index("b"), Some(1));
+        assert_eq!(m.layer_index("zz"), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! Builders for the eight models of the paper's evaluation (§5.1).
+
+pub mod moe;
+pub mod resnet;
+pub mod transformer;
+
+use serde::{Deserialize, Serialize};
+
+use crate::model::Model;
+
+/// The evaluated models, with the paper's canonical input shapes
+/// (ResNet: 224×224 RGB; BERT/RoBERTa: sequence 384; GPT-2: sequence
+/// 1024).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelId {
+    /// ResNet-50 (TorchVision).
+    ResNet50,
+    /// ResNet-101 (TorchVision).
+    ResNet101,
+    /// BERT-Base uncased (Transformers).
+    BertBase,
+    /// BERT-Large uncased.
+    BertLarge,
+    /// RoBERTa-Base.
+    RobertaBase,
+    /// RoBERTa-Large.
+    RobertaLarge,
+    /// GPT-2 (117/124M).
+    Gpt2,
+    /// GPT-2 Medium (355M).
+    Gpt2Medium,
+}
+
+impl ModelId {
+    /// Display name as printed in the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            ModelId::ResNet50 => "ResNet-50",
+            ModelId::ResNet101 => "ResNet-101",
+            ModelId::BertBase => "BERT-Base",
+            ModelId::BertLarge => "BERT-Large",
+            ModelId::RobertaBase => "RoBERTa-Base",
+            ModelId::RobertaLarge => "RoBERTa-Large",
+            ModelId::Gpt2 => "GPT-2",
+            ModelId::Gpt2Medium => "GPT-2 Medium",
+        }
+    }
+
+    /// Paper-default sequence length (1 for CNNs).
+    pub fn default_seq(self) -> u64 {
+        match self {
+            ModelId::ResNet50 | ModelId::ResNet101 => 1,
+            ModelId::Gpt2 | ModelId::Gpt2Medium => 1024,
+            _ => 384,
+        }
+    }
+}
+
+impl std::fmt::Display for ModelId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// All evaluated models in the paper's reporting order.
+pub fn catalog() -> Vec<ModelId> {
+    vec![
+        ModelId::ResNet50,
+        ModelId::ResNet101,
+        ModelId::BertBase,
+        ModelId::BertLarge,
+        ModelId::RobertaBase,
+        ModelId::RobertaLarge,
+        ModelId::Gpt2,
+        ModelId::Gpt2Medium,
+    ]
+}
+
+/// Builds a model with its paper-default input shape.
+pub fn build(id: ModelId) -> Model {
+    build_with_seq(id, id.default_seq())
+}
+
+/// Builds a model for a specific sequence length (ignored for CNNs).
+pub fn build_with_seq(id: ModelId, seq: u64) -> Model {
+    match id {
+        ModelId::ResNet50 => resnet::resnet("ResNet-50", [3, 4, 6, 3]),
+        ModelId::ResNet101 => resnet::resnet("ResNet-101", [3, 4, 23, 3]),
+        ModelId::BertBase => transformer::encoder(
+            "BERT-Base",
+            transformer::EncoderCfg {
+                vocab: 30_522,
+                max_pos: 512,
+                type_vocab: Some(2),
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq,
+            },
+        ),
+        ModelId::BertLarge => transformer::encoder(
+            "BERT-Large",
+            transformer::EncoderCfg {
+                vocab: 30_522,
+                max_pos: 512,
+                type_vocab: Some(2),
+                hidden: 1_024,
+                blocks: 24,
+                ffn: 4_096,
+                seq,
+            },
+        ),
+        ModelId::RobertaBase => transformer::encoder(
+            "RoBERTa-Base",
+            transformer::EncoderCfg {
+                vocab: 50_265,
+                max_pos: 514,
+                type_vocab: Some(1),
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq,
+            },
+        ),
+        ModelId::RobertaLarge => transformer::encoder(
+            "RoBERTa-Large",
+            transformer::EncoderCfg {
+                vocab: 50_265,
+                max_pos: 514,
+                type_vocab: Some(1),
+                hidden: 1_024,
+                blocks: 24,
+                ffn: 4_096,
+                seq,
+            },
+        ),
+        ModelId::Gpt2 => transformer::decoder(
+            "GPT-2",
+            transformer::DecoderCfg {
+                vocab: 50_257,
+                max_pos: 1_024,
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq,
+            },
+        ),
+        ModelId::Gpt2Medium => transformer::decoder(
+            "GPT-2 Medium",
+            transformer::DecoderCfg {
+                vocab: 50_257,
+                max_pos: 1_024,
+                hidden: 1_024,
+                blocks: 24,
+                ffn: 4_096,
+                seq,
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parameter_counts_match_published_sizes() {
+        // (model, expected millions of parameters, tolerance in millions)
+        let cases = [
+            (ModelId::ResNet50, 25.6, 0.5),
+            (ModelId::ResNet101, 44.5, 0.8),
+            (ModelId::BertBase, 109.5, 1.5),
+            (ModelId::BertLarge, 335.0, 4.0),
+            (ModelId::RobertaBase, 124.6, 1.5),
+            (ModelId::RobertaLarge, 355.0, 4.0),
+            (ModelId::Gpt2, 124.4, 1.5),
+            (ModelId::Gpt2Medium, 354.8, 4.0),
+        ];
+        for (id, want_m, tol) in cases {
+            let m = build(id);
+            let got_m = m.param_count() as f64 / 1e6;
+            assert!(
+                (got_m - want_m).abs() < tol,
+                "{id}: {got_m:.1}M params, expected ~{want_m}M"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_has_all_eight() {
+        let c = catalog();
+        assert_eq!(c.len(), 8);
+        for id in c {
+            let m = build(id);
+            assert!(m.layer_count() > 10, "{id} too small");
+            assert!(m.loadable_layer_count() > 0);
+        }
+    }
+
+    #[test]
+    fn default_seqs_follow_paper() {
+        assert_eq!(ModelId::BertBase.default_seq(), 384);
+        assert_eq!(ModelId::Gpt2.default_seq(), 1024);
+        assert_eq!(ModelId::ResNet50.default_seq(), 1);
+    }
+
+    #[test]
+    fn layer_names_are_unique() {
+        for id in catalog() {
+            let m = build(id);
+            let mut names: Vec<_> = m.layers.iter().map(|l| l.name.clone()).collect();
+            names.sort();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(before, names.len(), "{id} has duplicate layer names");
+        }
+    }
+}

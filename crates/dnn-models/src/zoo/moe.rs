@@ -1,0 +1,222 @@
+//! Mixture-of-experts models (paper §7 extension).
+//!
+//! A Switch-Transformer-style variant of GPT-2: every other block's dense
+//! FFN is replaced by a bank of expert MLPs with top-1 token routing. A
+//! forward pass computes only the experts its tokens route to, so an
+//! expert-aware provisioner transfers a fraction of the bank — the §7
+//! claim this module lets the benches quantify.
+
+use crate::layer::{Layer, LayerKind};
+use crate::model::{Model, ModelFamily};
+
+/// Configuration of the MoE GPT-2 variant.
+#[derive(Debug, Clone, Copy)]
+pub struct MoeCfg {
+    /// Experts per MoE block.
+    pub experts: u64,
+    /// Experts a forward pass activates (top-1 routing spreads tokens
+    /// over a few experts in practice).
+    pub active: u64,
+    /// Whether the provisioner knows the gate before loading
+    /// (expert-aware: transfer only active experts) or not (transfer the
+    /// whole bank).
+    pub expert_aware: bool,
+    /// Sequence length.
+    pub seq: u64,
+}
+
+impl Default for MoeCfg {
+    fn default() -> Self {
+        MoeCfg {
+            experts: 8,
+            active: 2,
+            expert_aware: true,
+            seq: 1_024,
+        }
+    }
+}
+
+/// Builds a GPT-2-small body where every other block uses an MoE FFN.
+pub fn gpt2_moe(cfg: MoeCfg) -> Model {
+    let h = 768u64;
+    let ffn = 3_072u64;
+    let seq = cfg.seq;
+    let blocks = 12u64;
+    let mut layers = Vec::new();
+
+    layers.push(Layer::new(
+        "wte",
+        LayerKind::Embedding {
+            rows: 50_257,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+    layers.push(Layer::new(
+        "wpe",
+        LayerKind::Embedding {
+            rows: 1_024,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+    for bidx in 0..blocks {
+        let p = format!("h{bidx}");
+        layers.push(Layer::new(
+            format!("{p}.ln_1"),
+            LayerKind::LayerNorm {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.qkv"),
+            LayerKind::Linear {
+                d_in: h,
+                d_out: 3 * h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.scores"),
+            LayerKind::Attention {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.proj"),
+            LayerKind::Linear {
+                d_in: h,
+                d_out: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.ln_2"),
+            LayerKind::LayerNorm {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        if bidx % 2 == 1 {
+            layers.push(Layer::new(
+                format!("{p}.moe"),
+                LayerKind::MoeFfn {
+                    experts_total: cfg.experts,
+                    experts_active: cfg.active.min(cfg.experts),
+                    experts_loaded: if cfg.expert_aware {
+                        cfg.active.min(cfg.experts)
+                    } else {
+                        cfg.experts
+                    },
+                    d_model: h,
+                    d_hidden: ffn,
+                    tokens_per_item: seq,
+                },
+            ));
+        } else {
+            layers.push(Layer::new(
+                format!("{p}.mlp.fc1"),
+                LayerKind::Linear {
+                    d_in: h,
+                    d_out: ffn,
+                    tokens_per_item: seq,
+                },
+            ));
+            layers.push(Layer::new(
+                format!("{p}.mlp.gelu"),
+                LayerKind::Activation {
+                    elems_per_item: ffn * seq,
+                },
+            ));
+            layers.push(Layer::new(
+                format!("{p}.mlp.fc2"),
+                LayerKind::Linear {
+                    d_in: ffn,
+                    d_out: h,
+                    tokens_per_item: seq,
+                },
+            ));
+        }
+    }
+    layers.push(Layer::new(
+        "ln_f",
+        LayerKind::LayerNorm {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+
+    Model {
+        name: format!(
+            "GPT-2-MoE-{}x{}{}",
+            cfg.experts,
+            cfg.active,
+            if cfg.expert_aware { "" } else { "-oblivious" }
+        ),
+        family: ModelFamily::Decoder,
+        layers,
+        seq_len: seq,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moe_multiplies_parameters_but_not_transfers() {
+        let aware = gpt2_moe(MoeCfg::default());
+        let dense_equiv_params = 124.4e6; // GPT-2 small.
+        let params = aware.param_bytes() as f64 / 4.0;
+        // 6 MoE blocks × (8−1) extra experts × 4.7M ≈ +198M.
+        assert!(
+            params > dense_equiv_params * 2.0,
+            "MoE should multiply parameters: {params:.0}"
+        );
+        let transfer: u64 = aware.layers.iter().map(|l| l.transfer_bytes()).sum();
+        // Expert-aware transfers 2/8 of each bank: far below total.
+        assert!(
+            (transfer as f64) < 0.55 * aware.param_bytes() as f64,
+            "transfer {transfer} vs params {}",
+            aware.param_bytes()
+        );
+    }
+
+    #[test]
+    fn oblivious_variant_transfers_everything() {
+        let cfg = MoeCfg {
+            expert_aware: false,
+            ..Default::default()
+        };
+        let m = gpt2_moe(cfg);
+        let transfer: u64 = m.layers.iter().map(|l| l.transfer_bytes()).sum();
+        assert_eq!(transfer, m.param_bytes());
+    }
+
+    #[test]
+    fn compute_is_independent_of_expert_count() {
+        let small = gpt2_moe(MoeCfg {
+            experts: 4,
+            ..Default::default()
+        });
+        let big = gpt2_moe(MoeCfg {
+            experts: 32,
+            ..Default::default()
+        });
+        let flops = |m: &Model| -> f64 { m.layers.iter().map(|l| l.flops_per_item()).sum() };
+        assert!((flops(&small) - flops(&big)).abs() < 1.0);
+    }
+
+    #[test]
+    fn moe_layers_present_every_other_block() {
+        let m = gpt2_moe(MoeCfg::default());
+        let moe = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::MoeFfn { .. }))
+            .count();
+        assert_eq!(moe, 6);
+    }
+}

@@ -1,0 +1,177 @@
+//! ResNet-50/101 builders (TorchVision bottleneck architecture).
+
+use crate::layer::{Layer, LayerKind};
+use crate::model::{Model, ModelFamily};
+
+/// Builds a bottleneck ResNet for 224×224 inputs.
+///
+/// `blocks` is the number of bottleneck blocks per stage
+/// (`[3,4,6,3]` = ResNet-50, `[3,4,23,3]` = ResNet-101).
+pub fn resnet(name: &str, blocks: [usize; 4]) -> Model {
+    let mut layers = Vec::new();
+
+    // Stem: 7×7/2 conv to 64ch at 112×112, BN, ReLU, 3×3/2 maxpool to 56.
+    layers.push(Layer::new(
+        "stem.conv",
+        LayerKind::Conv2d {
+            c_in: 3,
+            c_out: 64,
+            kernel: 7,
+            out_h: 112,
+            out_w: 112,
+        },
+    ));
+    layers.push(Layer::new(
+        "stem.bn",
+        LayerKind::BatchNorm {
+            channels: 64,
+            spatial: 112 * 112,
+        },
+    ));
+    layers.push(Layer::new(
+        "stem.relu",
+        LayerKind::Activation {
+            elems_per_item: 64 * 112 * 112,
+        },
+    ));
+    layers.push(Layer::new(
+        "stem.maxpool",
+        LayerKind::Pool {
+            elems_per_item: 64 * 112 * 112,
+        },
+    ));
+
+    let widths = [64u64, 128, 256, 512];
+    let spatial = [56u64, 28, 14, 7];
+    let mut in_ch = 64u64;
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        let mid = widths[stage];
+        let out_ch = mid * 4;
+        let hw = spatial[stage];
+        for b in 0..n_blocks {
+            let prefix = format!("s{}.b{}", stage + 1, b);
+            bottleneck(&mut layers, &prefix, in_ch, mid, out_ch, hw, b == 0);
+            in_ch = out_ch;
+        }
+    }
+
+    // Head: global average pool + FC to 1000 classes.
+    layers.push(Layer::new(
+        "head.avgpool",
+        LayerKind::Pool {
+            elems_per_item: 2048 * 7 * 7,
+        },
+    ));
+    layers.push(Layer::new(
+        "head.fc",
+        LayerKind::Linear {
+            d_in: 2048,
+            d_out: 1000,
+            tokens_per_item: 1,
+        },
+    ));
+
+    Model {
+        name: name.to_string(),
+        family: ModelFamily::Cnn,
+        layers,
+        seq_len: 1,
+    }
+}
+
+/// Appends one bottleneck block (1×1 → 3×3 → 1×1 with BN/ReLU, plus a
+/// 1×1 downsample projection for the first block of each stage).
+fn bottleneck(
+    layers: &mut Vec<Layer>,
+    prefix: &str,
+    in_ch: u64,
+    mid: u64,
+    out_ch: u64,
+    hw: u64,
+    first_in_stage: bool,
+) {
+    let conv = |name: &str, ci: u64, co: u64, k: u64| {
+        Layer::new(
+            format!("{prefix}.{name}"),
+            LayerKind::Conv2d {
+                c_in: ci,
+                c_out: co,
+                kernel: k,
+                out_h: hw,
+                out_w: hw,
+            },
+        )
+    };
+    let bn = |name: &str, ch: u64| {
+        Layer::new(
+            format!("{prefix}.{name}"),
+            LayerKind::BatchNorm {
+                channels: ch,
+                spatial: hw * hw,
+            },
+        )
+    };
+    let relu = |name: &str, ch: u64| {
+        Layer::new(
+            format!("{prefix}.{name}"),
+            LayerKind::Activation {
+                elems_per_item: ch * hw * hw,
+            },
+        )
+    };
+
+    layers.push(conv("conv1", in_ch, mid, 1));
+    layers.push(bn("bn1", mid));
+    layers.push(relu("relu1", mid));
+    layers.push(conv("conv2", mid, mid, 3));
+    layers.push(bn("bn2", mid));
+    layers.push(relu("relu2", mid));
+    layers.push(conv("conv3", mid, out_ch, 1));
+    layers.push(bn("bn3", out_ch));
+    if first_in_stage {
+        layers.push(conv("downsample.conv", in_ch, out_ch, 1));
+        layers.push(bn("downsample.bn", out_ch));
+    }
+    layers.push(relu("relu3", out_ch));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet50_conv_count() {
+        let m = resnet("ResNet-50", [3, 4, 6, 3]);
+        let convs = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .count();
+        // 1 stem + 16 blocks × 3 + 4 downsamples = 53.
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn resnet101_is_deeper() {
+        let m50 = resnet("ResNet-50", [3, 4, 6, 3]);
+        let m101 = resnet("ResNet-101", [3, 4, 23, 3]);
+        assert!(m101.layer_count() > m50.layer_count());
+        assert!(m101.param_bytes() > m50.param_bytes());
+    }
+
+    #[test]
+    fn small_convs_front_large_convs_back() {
+        // Paper §3.1: "CNN models place the small convolutional layers in
+        // the front ... size is steadily increasing toward the back".
+        let m = resnet("ResNet-50", [3, 4, 6, 3]);
+        let convs: Vec<u64> = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d { .. }))
+            .map(|l| l.param_bytes())
+            .collect();
+        let front_avg: f64 = convs[..10].iter().sum::<u64>() as f64 / 10.0;
+        let back_avg: f64 = convs[convs.len() - 10..].iter().sum::<u64>() as f64 / 10.0;
+        assert!(back_avg > 10.0 * front_avg);
+    }
+}

@@ -1,0 +1,351 @@
+//! Transformer encoder (BERT/RoBERTa) and decoder (GPT-2) builders.
+
+use crate::layer::{Layer, LayerKind};
+use crate::model::{Model, ModelFamily};
+
+/// Configuration of a BERT/RoBERTa-style encoder.
+#[derive(Debug, Clone, Copy)]
+pub struct EncoderCfg {
+    /// Vocabulary size (word-embedding rows).
+    pub vocab: u64,
+    /// Maximum position embeddings.
+    pub max_pos: u64,
+    /// Token-type vocabulary (None to omit the table).
+    pub type_vocab: Option<u64>,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Number of transformer blocks.
+    pub blocks: u64,
+    /// Feed-forward inner dimension.
+    pub ffn: u64,
+    /// Sequence length the model is instantiated for.
+    pub seq: u64,
+}
+
+/// Configuration of a GPT-2-style decoder.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderCfg {
+    /// Vocabulary size.
+    pub vocab: u64,
+    /// Maximum position embeddings.
+    pub max_pos: u64,
+    /// Hidden dimension.
+    pub hidden: u64,
+    /// Number of transformer blocks.
+    pub blocks: u64,
+    /// Feed-forward inner dimension.
+    pub ffn: u64,
+    /// Sequence length.
+    pub seq: u64,
+}
+
+/// Builds a BERT/RoBERTa-style encoder.
+pub fn encoder(name: &str, cfg: EncoderCfg) -> Model {
+    let h = cfg.hidden;
+    let seq = cfg.seq;
+    let mut layers = Vec::new();
+
+    layers.push(Layer::new(
+        "emb.word",
+        LayerKind::Embedding {
+            rows: cfg.vocab,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+    layers.push(Layer::new(
+        "emb.pos",
+        LayerKind::Embedding {
+            rows: cfg.max_pos,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+    if let Some(tv) = cfg.type_vocab {
+        layers.push(Layer::new(
+            "emb.type",
+            LayerKind::Embedding {
+                rows: tv,
+                dim: h,
+                lookups_per_item: seq,
+            },
+        ));
+    }
+    layers.push(Layer::new(
+        "emb.ln",
+        LayerKind::LayerNorm {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+
+    for b in 0..cfg.blocks {
+        push_encoder_block(&mut layers, &format!("h{b}"), h, cfg.ffn, seq);
+    }
+
+    // BERT pooler: linear over the [CLS] token + tanh.
+    layers.push(Layer::new(
+        "pooler.fc",
+        LayerKind::Linear {
+            d_in: h,
+            d_out: h,
+            tokens_per_item: 1,
+        },
+    ));
+    layers.push(Layer::new(
+        "pooler.tanh",
+        LayerKind::Activation { elems_per_item: h },
+    ));
+
+    Model {
+        name: name.to_string(),
+        family: ModelFamily::Encoder,
+        layers,
+        seq_len: seq,
+    }
+}
+
+/// Builds a GPT-2-style decoder (pre-norm blocks, fused QKV projection).
+pub fn decoder(name: &str, cfg: DecoderCfg) -> Model {
+    let h = cfg.hidden;
+    let seq = cfg.seq;
+    let mut layers = Vec::new();
+
+    layers.push(Layer::new(
+        "wte",
+        LayerKind::Embedding {
+            rows: cfg.vocab,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+    layers.push(Layer::new(
+        "wpe",
+        LayerKind::Embedding {
+            rows: cfg.max_pos,
+            dim: h,
+            lookups_per_item: seq,
+        },
+    ));
+
+    for b in 0..cfg.blocks {
+        let p = format!("h{b}");
+        layers.push(Layer::new(
+            format!("{p}.ln_1"),
+            LayerKind::LayerNorm {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.qkv"),
+            LayerKind::Linear {
+                d_in: h,
+                d_out: 3 * h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.scores"),
+            LayerKind::Attention {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.attn.proj"),
+            LayerKind::Linear {
+                d_in: h,
+                d_out: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.ln_2"),
+            LayerKind::LayerNorm {
+                dim: h,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.mlp.fc1"),
+            LayerKind::Linear {
+                d_in: h,
+                d_out: cfg.ffn,
+                tokens_per_item: seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.mlp.gelu"),
+            LayerKind::Activation {
+                elems_per_item: cfg.ffn * seq,
+            },
+        ));
+        layers.push(Layer::new(
+            format!("{p}.mlp.fc2"),
+            LayerKind::Linear {
+                d_in: cfg.ffn,
+                d_out: h,
+                tokens_per_item: seq,
+            },
+        ));
+    }
+
+    layers.push(Layer::new(
+        "ln_f",
+        LayerKind::LayerNorm {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+
+    Model {
+        name: name.to_string(),
+        family: ModelFamily::Decoder,
+        layers,
+        seq_len: seq,
+    }
+}
+
+/// Appends one post-norm encoder block (separate Q/K/V/O projections).
+fn push_encoder_block(layers: &mut Vec<Layer>, p: &str, h: u64, ffn: u64, seq: u64) {
+    let lin = |name: String, d_in: u64, d_out: u64| {
+        Layer::new(
+            name,
+            LayerKind::Linear {
+                d_in,
+                d_out,
+                tokens_per_item: seq,
+            },
+        )
+    };
+    layers.push(lin(format!("{p}.attn.q"), h, h));
+    layers.push(lin(format!("{p}.attn.k"), h, h));
+    layers.push(lin(format!("{p}.attn.v"), h, h));
+    layers.push(Layer::new(
+        format!("{p}.attn.scores"),
+        LayerKind::Attention {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+    layers.push(lin(format!("{p}.attn.out"), h, h));
+    layers.push(Layer::new(
+        format!("{p}.attn.ln"),
+        LayerKind::LayerNorm {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+    layers.push(lin(format!("{p}.ffn.fc1"), h, ffn));
+    layers.push(Layer::new(
+        format!("{p}.ffn.gelu"),
+        LayerKind::Activation {
+            elems_per_item: ffn * seq,
+        },
+    ));
+    layers.push(lin(format!("{p}.ffn.fc2"), ffn, h));
+    layers.push(Layer::new(
+        format!("{p}.ffn.ln"),
+        LayerKind::LayerNorm {
+            dim: h,
+            tokens_per_item: seq,
+        },
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    fn bert_base() -> Model {
+        encoder(
+            "BERT-Base",
+            EncoderCfg {
+                vocab: 30_522,
+                max_pos: 512,
+                type_vocab: Some(2),
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq: 384,
+            },
+        )
+    }
+
+    #[test]
+    fn bert_base_structure() {
+        let m = bert_base();
+        // 3 embeddings + emb LN + 12 blocks × 10 + pooler fc + tanh.
+        assert_eq!(m.layer_count(), 4 + 120 + 2);
+        // Word embedding dominates front-of-model bytes.
+        assert_eq!(m.layers[0].class_label(), "Emb");
+        assert!(m.layers[0].param_bytes() > 80 << 20);
+    }
+
+    #[test]
+    fn gpt2_front_matches_table3b() {
+        // Table 3b lists GPT-2's first five layers as Emb, Emb, LN, FC, FC.
+        let m = decoder(
+            "GPT-2",
+            DecoderCfg {
+                vocab: 50_257,
+                max_pos: 1_024,
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq: 1_024,
+            },
+        );
+        let labels: Vec<_> = m
+            .layers
+            .iter()
+            .filter(|l| {
+                !matches!(
+                    l.kind,
+                    LayerKind::Attention { .. } | LayerKind::Activation { .. }
+                )
+            })
+            .take(5)
+            .map(|l| l.class_label())
+            .collect();
+        assert_eq!(labels, vec!["Emb", "Emb", "LN", "FC", "FC"]);
+    }
+
+    #[test]
+    fn roberta_embeddings_bigger_than_bert() {
+        let bert = bert_base();
+        let roberta = encoder(
+            "RoBERTa-Base",
+            EncoderCfg {
+                vocab: 50_265,
+                max_pos: 514,
+                type_vocab: Some(1),
+                hidden: 768,
+                blocks: 12,
+                ffn: 3_072,
+                seq: 384,
+            },
+        );
+        assert!(roberta.layers[0].param_bytes() > bert.layers[0].param_bytes());
+    }
+
+    #[test]
+    fn encoder_block_layer_mix() {
+        let m = bert_base();
+        let linears = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Linear { .. }))
+            .count();
+        // 12 blocks × 6 + pooler.
+        assert_eq!(linears, 73);
+        let lns = m
+            .layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::LayerNorm { .. }))
+            .count();
+        assert_eq!(lns, 25);
+    }
+}

@@ -1,0 +1,107 @@
+//! Property tests for the analytic cost model.
+
+use dnn_models::costmodel::CostModel;
+use dnn_models::layer::{Layer, LayerKind};
+use gpu_topology::device::{a5000, v100};
+use proptest::prelude::*;
+
+fn arb_layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        (1u64..60_000, 64u64..2048, 1u64..512).prop_map(|(rows, dim, lk)| Layer::new(
+            "emb",
+            LayerKind::Embedding {
+                rows,
+                dim,
+                lookups_per_item: lk,
+            }
+        )),
+        (
+            1u64..512,
+            1u64..512,
+            prop_oneof![Just(1u64), Just(3), Just(7)],
+            1u64..128
+        )
+            .prop_map(|(ci, co, k, hw)| Layer::new(
+                "conv",
+                LayerKind::Conv2d {
+                    c_in: ci,
+                    c_out: co,
+                    kernel: k,
+                    out_h: hw,
+                    out_w: hw,
+                }
+            )),
+        (1u64..4096, 1u64..4096, 1u64..1024).prop_map(|(di, dn, t)| Layer::new(
+            "fc",
+            LayerKind::Linear {
+                d_in: di,
+                d_out: dn,
+                tokens_per_item: t,
+            }
+        )),
+        (1u64..2048, 1u64..1024).prop_map(|(d, t)| Layer::new(
+            "ln",
+            LayerKind::LayerNorm {
+                dim: d,
+                tokens_per_item: t,
+            }
+        )),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn costs_are_finite_positive_and_consistent(layer in arb_layer(), batch in 1u32..16) {
+        for gpu in [v100(), a5000()] {
+            let cm = CostModel::new(gpu);
+            let c = cm.cost(&layer, batch);
+            prop_assert!(c.exec_inmem.as_nanos() > 0);
+            prop_assert!(c.exec_dha >= c.exec_inmem || c.dha_read_bytes < c.load_bytes as f64,
+                "DHA cheaper than in-memory despite streaming more bytes");
+            prop_assert!(c.dha_wire_bytes >= c.dha_read_bytes);
+            prop_assert_eq!(c.load_bytes, layer.param_bytes());
+            // Load transactions are exactly bytes/64 rounded up.
+            prop_assert_eq!(c.pcie_txn_load, layer.param_bytes().div_ceil(64));
+        }
+    }
+
+    #[test]
+    fn batch_monotonicity(layer in arb_layer(), b in 1u32..8) {
+        let cm = CostModel::new(v100());
+        prop_assert!(cm.exec_inmem(&layer, b + 1) >= cm.exec_inmem(&layer, b));
+        prop_assert!(cm.dha_read_bytes(&layer, b + 1) >= cm.dha_read_bytes(&layer, b));
+        prop_assert!(cm.exec_dha(&layer, b + 1) >= cm.exec_dha(&layer, b));
+    }
+
+    #[test]
+    fn faster_link_never_slows_anything(layer in arb_layer()) {
+        let slow = CostModel::new(v100());
+        let fast = CostModel::new(a5000());
+        // A5000 has a faster link: loads and DHA wire time must shrink.
+        prop_assert!(fast.load_time(&layer) <= slow.load_time(&layer));
+        let s = slow.dha_wire_bytes(&layer, 1) / slow.gpu().pcie.bandwidth;
+        let f = fast.dha_wire_bytes(&layer, 1) / fast.gpu().pcie.bandwidth;
+        prop_assert!(f <= s + 1e-12);
+    }
+
+    #[test]
+    fn embedding_dha_reads_independent_of_table_size(
+        rows_a in 100u64..1_000,
+        rows_b in 10_000u64..100_000,
+        dim in 64u64..2048,
+    ) {
+        let cm = CostModel::new(v100());
+        let mk = |rows| Layer::new(
+            "emb",
+            LayerKind::Embedding {
+                rows,
+                dim,
+                lookups_per_item: 384,
+            },
+        );
+        prop_assert_eq!(
+            cm.pcie_txn_dha(&mk(rows_a), 1),
+            cm.pcie_txn_dha(&mk(rows_b), 1)
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Shared hardware state embedded in every simulation world.
+
+use gpu_topology::machine::Machine;
+use gpu_topology::netmap::NetMap;
+use simcore::driver::{FlowDriver, HasFlowDriver};
+use simcore::slab::Slab;
+
+use simcore::time::SimTime;
+
+use crate::launch::RunState;
+use crate::trace::{Trace, TraceEvent, TraceKind};
+
+/// Stable reference to an in-flight inference run.
+///
+/// Slab slots are recycled; the generation guards late events against
+/// hitting an unrelated run that reused the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRef {
+    /// Slab slot.
+    pub slot: usize,
+    /// Generation stamp at creation.
+    pub gen: u64,
+}
+
+/// The hardware substrate: machine description, its flow network, and the
+/// table of in-flight runs.
+pub struct HwState<S: HasHw> {
+    /// Machine topology.
+    pub machine: Machine,
+    /// Link-id mapping into the flow network.
+    pub map: NetMap,
+    /// In-flight inference runs.
+    pub runs: Slab<RunState<S>>,
+    /// Optional execution trace (off by default; enable with
+    /// [`HwState::enable_tracing`]).
+    pub trace: Option<Trace>,
+    next_gen: u64,
+}
+
+impl<S: HasHw> HwState<S> {
+    /// Builds the substrate for `machine`, returning it together with the
+    /// flow driver the world must also embed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine fails topology validation (presets never do).
+    pub fn new(machine: Machine) -> (Self, FlowDriver<S>) {
+        let (net, map) = NetMap::build(&machine).expect("valid machine topology");
+        (
+            HwState {
+                machine,
+                map,
+                runs: Slab::new(),
+                trace: None,
+                next_gen: 0,
+            },
+            FlowDriver::with_net(net),
+        )
+    }
+
+    /// Allocates a fresh run generation.
+    pub fn fresh_gen(&mut self) -> u64 {
+        self.next_gen += 1;
+        self.next_gen
+    }
+
+    /// Turns on trace capture.
+    pub fn enable_tracing(&mut self) {
+        self.trace = Some(Trace::default());
+    }
+
+    /// Takes the captured trace (if tracing was enabled).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.trace.take()
+    }
+
+    /// Records one trace event (no-op when tracing is off).
+    pub fn emit(&mut self, at: SimTime, run: usize, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.events.push(TraceEvent { at, run, kind });
+        }
+    }
+
+    /// Resolves a [`RunRef`], returning `None` for completed/stale runs.
+    pub fn run_mut(&mut self, r: RunRef) -> Option<&mut RunState<S>> {
+        let run = self.runs.get_mut(r.slot)?;
+        (run.gen == r.gen).then_some(run)
+    }
+}
+
+/// Worlds that embed a [`HwState`] keyed on themselves.
+///
+/// The flow driver lives beside (not inside) the hardware state so that
+/// flow callbacks and run bookkeeping can be borrowed independently.
+pub trait HasHw: HasFlowDriver {
+    /// Exclusive access to the hardware substrate.
+    fn hw(&mut self) -> &mut HwState<Self>;
+}

@@ -1,0 +1,754 @@
+//! Launching and driving inference runs.
+//!
+//! One run = one inference (or transfer-only measurement) of one model on
+//! one primary GPU. Three kinds of processes cooperate, mirroring the
+//! paper's stream design (§4.3.4):
+//!
+//! * **load streams** — one per transmission slot; copy the slot's
+//!   partition layer-by-layer over PCIe (launch overhead, then a flow);
+//! * **migration streams** — one per secondary GPU; forward arrived
+//!   layers to the primary over NVLink, pipelined with the loads;
+//! * **execution stream** — runs layers in order on the primary; a `Load`
+//!   layer waits for its readiness flag (the `cudaStreamWaitEvent`
+//!   analogue), a DHA layer starts immediately and occupies both the SMs
+//!   and a PCIe read flow.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use exec_planner::plan::{ExecutionPlan, LayerExec};
+use simcore::driver::start_flow;
+use simcore::sim::Ctx;
+use simcore::time::{SimDur, SimTime};
+
+use crate::hw::{HasHw, RunRef};
+use crate::result::InferenceResult;
+use crate::runtime::ModelRuntime;
+use crate::trace::TraceKind;
+
+/// Completion callback of a run.
+pub type DoneFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>, InferenceResult)>;
+
+/// Everything needed to launch one run.
+pub struct LaunchSpec {
+    /// Runtime table of the model at the request's batch size.
+    pub rt: Arc<ModelRuntime>,
+    /// The execution plan to follow.
+    pub plan: Arc<ExecutionPlan>,
+    /// Primary GPU id (where execution happens).
+    pub primary: usize,
+    /// Secondary GPU ids for transmission slots 1.. (may be shorter than
+    /// the plan's partitions; surplus partitions fold onto the primary).
+    pub secondaries: Vec<usize>,
+    /// Whether all weights are already resident (warm request).
+    pub warm: bool,
+    /// Transfer-only measurement: skip the execution stream and complete
+    /// when every `Load` layer is resident (Figure 6 experiments).
+    pub skip_exec: bool,
+    /// Forward each secondary partition as one bulk NVLink copy after it
+    /// has fully arrived, instead of layer-by-layer — the paper's plain
+    /// "parallel" mode of Figure 6 (versus "parallel-pipeline").
+    pub bulk_migrate: bool,
+    /// Distributed execution (the §2.3 alternative the paper rejects):
+    /// partitions stay on the GPUs that loaded them and the execution
+    /// stream *hops* between GPUs, paying an NVLink activation transfer
+    /// at every partition boundary — on every inference, warm or cold.
+    pub distributed: bool,
+}
+
+impl LaunchSpec {
+    /// Owning GPU per layer: the primary except, under distributed
+    /// execution, layers of secondary partitions.
+    fn owners(&self) -> Vec<usize> {
+        let n = self.rt.layer_count();
+        let mut owner = vec![self.primary; n];
+        if self.distributed {
+            for (slot, part) in self.plan.partitions.iter().enumerate().skip(1) {
+                if let Some(&g) = self.secondaries.get(slot - 1) {
+                    for &i in part {
+                        owner[i] = g;
+                    }
+                }
+            }
+        }
+        owner
+    }
+}
+
+/// Internal state of an in-flight run. Public only because it lives in
+/// [`crate::hw::HwState`]; fields are crate-private.
+pub struct RunState<S> {
+    /// Generation stamp (see [`RunRef`]).
+    pub gen: u64,
+    spec: LaunchSpec,
+    ready: Vec<bool>,
+    loads_pending: usize,
+    exec_next: usize,
+    blocked_since: Option<SimTime>,
+    pending_parts: u8,
+    layer_started: SimTime,
+    started: SimTime,
+    stall: SimDur,
+    exec_busy: SimDur,
+    mig_queue: Vec<VecDeque<usize>>,
+    mig_busy: Vec<bool>,
+    slot_loaded: Vec<usize>,
+    /// Warm fast path: merged `(compute, dha_wire_bytes)` steps. Runs of
+    /// consecutive in-memory layers collapse into one timer event, which
+    /// makes million-request serving traces cheap to simulate without
+    /// changing any timing (no gating can occur on a warm run). Not used
+    /// under distributed execution (hops break the merge).
+    warm_steps: Vec<(SimDur, f64)>,
+    use_warm_fast: bool,
+    /// GPU owning each layer's weights (distributed execution).
+    owner: Vec<usize>,
+    /// GPU the execution stream currently sits on.
+    current_gpu: usize,
+    on_done: Option<DoneFn<S>>,
+}
+
+/// Builds the merged warm-step list for a spec.
+fn build_warm_steps(spec: &LaunchSpec) -> Vec<(SimDur, f64)> {
+    let mut steps: Vec<(SimDur, f64)> = Vec::new();
+    for (layer, d) in spec.rt.layers.iter().zip(&spec.plan.decisions) {
+        let wire = if *d == LayerExec::Dha {
+            layer.dha_wire_bytes
+        } else {
+            0.0
+        };
+        if wire > 0.0 {
+            steps.push((layer.exec_inmem, wire));
+        } else {
+            match steps.last_mut() {
+                Some((dur, w)) if *w == 0.0 => *dur += layer.exec_inmem,
+                _ => steps.push((layer.exec_inmem, 0.0)),
+            }
+        }
+    }
+    steps
+}
+
+/// GPU a transmission slot loads into, plus whether the layer must still
+/// be forwarded to the primary afterwards (never under distributed
+/// execution — layers are consumed where they land).
+fn slot_gpu(spec: &LaunchSpec, slot: usize) -> (usize, bool) {
+    if slot == 0 {
+        return (spec.primary, false);
+    }
+    match spec.secondaries.get(slot - 1) {
+        Some(&g) if g != spec.primary => (g, !spec.distributed),
+        _ => (spec.primary, false),
+    }
+}
+
+/// Launches a run; `on_done` fires with the [`InferenceResult`].
+///
+/// Must be called from inside an event handler.
+///
+/// # Panics
+///
+/// Panics if the plan's decision vector does not match the runtime's
+/// layer count.
+pub fn start_inference<S: HasHw>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    spec: LaunchSpec,
+    on_done: DoneFn<S>,
+) -> RunRef {
+    let n = spec.rt.layer_count();
+    assert_eq!(
+        spec.plan.decisions.len(),
+        n,
+        "plan/runtime layer count mismatch"
+    );
+    let now = ctx.now();
+    let mut ready = vec![false; n];
+    let mut loads_pending = 0usize;
+    for i in 0..n {
+        let needs_load = spec.plan.decisions[i] == LayerExec::Load
+            && spec.rt.layers[i].param_bytes > 0
+            && !spec.warm;
+        if needs_load {
+            loads_pending += 1;
+        } else {
+            ready[i] = true;
+        }
+    }
+    let slots = spec.plan.partitions.len();
+    let use_warm_fast = spec.warm && !spec.skip_exec && !spec.distributed;
+    let warm_steps = if use_warm_fast {
+        build_warm_steps(&spec)
+    } else {
+        Vec::new()
+    };
+    let owner = spec.owners();
+    let primary = spec.primary;
+    let run = RunState {
+        gen: 0,
+        spec,
+        ready,
+        loads_pending,
+        exec_next: 0,
+        blocked_since: None,
+        pending_parts: 0,
+        layer_started: now,
+        started: now,
+        stall: SimDur::ZERO,
+        exec_busy: SimDur::ZERO,
+        mig_queue: vec![VecDeque::new(); slots.saturating_sub(1)],
+        mig_busy: vec![false; slots.saturating_sub(1)],
+        slot_loaded: vec![0; slots],
+        warm_steps,
+        use_warm_fast,
+        owner,
+        current_gpu: primary,
+        on_done: Some(on_done),
+    };
+    let hw = state.hw();
+    let gen = hw.fresh_gen();
+    let slot = hw.runs.insert(run);
+    hw.runs[slot].gen = gen;
+    let r = RunRef { slot, gen };
+
+    let (skip_exec, warm) = {
+        let run = state.hw().run_mut(r).expect("just inserted");
+        (run.spec.skip_exec, run.spec.warm)
+    };
+    if !warm {
+        for s in 0..slots {
+            load_next(state, ctx, r, s, 0);
+        }
+    }
+    if skip_exec {
+        if state.hw().run_mut(r).map(|x| x.loads_pending) == Some(0) {
+            complete(state, ctx, r);
+        }
+    } else {
+        exec_try(state, ctx, r);
+    }
+    r
+}
+
+/// Issues position `pos` of transmission slot `slot`'s partition.
+fn load_next<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize, pos: usize) {
+    // Gather the next transmission block: one layer by default, or
+    // consecutive layers up to `plan.block_bytes` when grouping is on
+    // (PipeSwitch-style amortisation of the per-transfer overhead).
+    let (block, bytes, gpu) = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        let part = &run.spec.plan.partitions[slot];
+        if pos >= part.len() {
+            return;
+        }
+        let cap = run.spec.plan.block_bytes.unwrap_or(0);
+        let mut block = vec![part[pos]];
+        let mut bytes = run.spec.rt.layers[part[pos]].param_bytes;
+        let mut end = pos + 1;
+        while end < part.len() && bytes < cap {
+            let next_bytes = run.spec.rt.layers[part[end]].param_bytes;
+            if bytes + next_bytes > cap {
+                break;
+            }
+            bytes += next_bytes;
+            block.push(part[end]);
+            end += 1;
+        }
+        let (gpu, _) = slot_gpu(&run.spec, slot);
+        (block, bytes as f64, gpu)
+    };
+    let overhead = {
+        let hw = state.hw();
+        SimDur::from_nanos(hw.machine.gpu(gpu).pcie.launch_overhead_ns)
+    };
+    let next_pos = pos + block.len();
+    ctx.schedule_in(
+        overhead,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if state.hw().run_mut(r).is_none() {
+                return;
+            }
+            let now = ctx.now();
+            let path = {
+                let hw = state.hw();
+                for &layer in &block {
+                    hw.emit(now, r.slot, TraceKind::LoadStart { layer, gpu, slot });
+                }
+                hw.map.host_to_gpu(&hw.machine, gpu)
+            };
+            start_flow(
+                state,
+                ctx,
+                bytes,
+                path,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+                    let now = ctx.now();
+                    for &layer in &block {
+                        state
+                            .hw()
+                            .emit(now, r.slot, TraceKind::LoadEnd { layer, gpu, slot });
+                        on_load_done(state, ctx, r, slot, layer);
+                    }
+                    load_next(state, ctx, r, slot, next_pos);
+                }),
+            );
+        }),
+    );
+}
+
+/// A layer finished its host→GPU copy.
+fn on_load_done<S: HasHw>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    r: RunRef,
+    slot: usize,
+    layer_idx: usize,
+) {
+    let Some(run) = state.hw().run_mut(r) else {
+        return;
+    };
+    run.slot_loaded[slot] += 1;
+    let (_, migrates) = slot_gpu(&run.spec, slot);
+    if !migrates {
+        mark_ready(state, ctx, r, layer_idx);
+        return;
+    }
+    if run.spec.bulk_migrate {
+        // Plain "parallel" mode: wait for the whole partition, then one
+        // bulk NVLink copy.
+        if run.slot_loaded[slot] == run.spec.plan.partitions[slot].len() {
+            bulk_forward(state, ctx, r, slot);
+        }
+    } else {
+        run.mig_queue[slot - 1].push_back(layer_idx);
+        mig_pump(state, ctx, r, slot);
+    }
+}
+
+/// Forwards a fully-arrived partition to the primary as one NVLink flow.
+fn bulk_forward<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
+    let Some(run) = state.hw().run_mut(r) else {
+        return;
+    };
+    let layers: Vec<usize> = run.spec.plan.partitions[slot].clone();
+    let bytes: f64 = layers
+        .iter()
+        .map(|&i| run.spec.rt.layers[i].param_bytes as f64)
+        .sum();
+    let (sec, _) = slot_gpu(&run.spec, slot);
+    let primary = run.spec.primary;
+    let (overhead, path) = {
+        let hw = state.hw();
+        let overhead = SimDur::from_nanos(
+            hw.machine
+                .nvlink
+                .map(|nv| nv.launch_overhead_ns)
+                .unwrap_or(0),
+        );
+        let path = hw
+            .map
+            .gpu_to_gpu(&hw.machine, sec, primary)
+            .unwrap_or_else(|| panic!("plan requires NVLink between GPUs {sec} and {primary}"));
+        (overhead, path)
+    };
+    ctx.schedule_in(
+        overhead,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if state.hw().run_mut(r).is_none() {
+                return;
+            }
+            start_flow(
+                state,
+                ctx,
+                bytes,
+                path,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+                    for idx in layers {
+                        mark_ready(state, ctx, r, idx);
+                    }
+                }),
+            );
+        }),
+    );
+}
+
+/// Starts the next NVLink forward on secondary slot `slot` if idle.
+fn mig_pump<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
+    let Some(run) = state.hw().run_mut(r) else {
+        return;
+    };
+    if run.mig_busy[slot - 1] {
+        return;
+    }
+    let Some(layer_idx) = run.mig_queue[slot - 1].pop_front() else {
+        return;
+    };
+    run.mig_busy[slot - 1] = true;
+    let bytes = run.spec.rt.layers[layer_idx].param_bytes as f64;
+    let (sec, _) = slot_gpu(&run.spec, slot);
+    let primary = run.spec.primary;
+    let (overhead, path) = {
+        let hw = state.hw();
+        let overhead = SimDur::from_nanos(
+            hw.machine
+                .nvlink
+                .map(|nv| nv.launch_overhead_ns)
+                .unwrap_or(0),
+        );
+        let path = hw
+            .map
+            .gpu_to_gpu(&hw.machine, sec, primary)
+            .unwrap_or_else(|| panic!("plan requires NVLink between GPUs {sec} and {primary}"));
+        (overhead, path)
+    };
+    ctx.schedule_in(
+        overhead,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if state.hw().run_mut(r).is_none() {
+                return;
+            }
+            state.hw().emit(
+                ctx.now(),
+                r.slot,
+                TraceKind::MigrateStart {
+                    layer: layer_idx,
+                    from: sec,
+                },
+            );
+            start_flow(
+                state,
+                ctx,
+                bytes,
+                path,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+                    if let Some(run) = state.hw().run_mut(r) {
+                        run.mig_busy[slot - 1] = false;
+                    }
+                    state.hw().emit(
+                        ctx.now(),
+                        r.slot,
+                        TraceKind::MigrateEnd {
+                            layer: layer_idx,
+                            from: sec,
+                        },
+                    );
+                    mark_ready(state, ctx, r, layer_idx);
+                    mig_pump(state, ctx, r, slot);
+                }),
+            );
+        }),
+    );
+}
+
+/// Marks a layer's weights resident on the primary GPU.
+fn mark_ready<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, layer_idx: usize) {
+    let now = ctx.now();
+    let (unblock, done, stall_ns) = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        if !run.ready[layer_idx] {
+            run.ready[layer_idx] = true;
+            run.loads_pending -= 1;
+        }
+        let gate = gate_open(run);
+        let unblock = run.blocked_since.is_some() && gate && !run.spec.skip_exec;
+        let mut stall_ns = 0;
+        if unblock {
+            let since = run.blocked_since.take().expect("checked");
+            let stall = now - since;
+            run.stall += stall;
+            stall_ns = stall.as_nanos();
+        }
+        let done = run.spec.skip_exec && run.loads_pending == 0;
+        (unblock, done, stall_ns)
+    };
+    if unblock {
+        state.hw().emit(
+            now,
+            r.slot,
+            TraceKind::StallEnd {
+                layer: layer_idx,
+                ns: stall_ns,
+            },
+        );
+        exec_start_layer(state, ctx, r);
+    }
+    if done {
+        complete(state, ctx, r);
+    }
+}
+
+/// Whether the execution stream may run its next layer.
+fn gate_open<S>(run: &RunState<S>) -> bool {
+    if run.use_warm_fast {
+        return run.exec_next < run.warm_steps.len();
+    }
+    let i = run.exec_next;
+    if i >= run.ready.len() {
+        return false;
+    }
+    if run.spec.plan.pipelined {
+        run.ready[i]
+    } else {
+        run.loads_pending == 0
+    }
+}
+
+/// Number of execution steps for a run (layers, or merged warm steps).
+fn exec_len<S>(run: &RunState<S>) -> usize {
+    if run.use_warm_fast {
+        run.warm_steps.len()
+    } else {
+        run.ready.len()
+    }
+}
+
+/// Advances the execution stream: complete, block, or start a layer.
+fn exec_try<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let now = ctx.now();
+    enum Next {
+        Done,
+        Blocked,
+        Start,
+    }
+    let next = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        if run.exec_next >= exec_len(run) {
+            Next::Done
+        } else if !gate_open(run) {
+            run.blocked_since = Some(now);
+            Next::Blocked
+        } else {
+            Next::Start
+        }
+    };
+    match next {
+        Next::Done => exec_finish(state, ctx, r),
+        Next::Blocked => {}
+        Next::Start => exec_start_layer(state, ctx, r),
+    }
+}
+
+/// All layers ran; under distributed execution the result must first hop
+/// back to the primary GPU.
+fn exec_finish<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let back_hop = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        if run.spec.distributed && run.current_gpu != run.spec.primary {
+            let bytes = run
+                .spec
+                .rt
+                .layers
+                .last()
+                .map(|l| l.act_out_bytes)
+                .unwrap_or(0.0);
+            Some((run.current_gpu, run.spec.primary, bytes))
+        } else {
+            None
+        }
+    };
+    match back_hop {
+        None => complete(state, ctx, r),
+        Some((from, to, bytes)) => {
+            if let Some(run) = state.hw().run_mut(r) {
+                run.current_gpu = to;
+            }
+            hop(
+                state,
+                ctx,
+                r,
+                from,
+                to,
+                bytes,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| complete(state, ctx, r)),
+            );
+        }
+    }
+}
+
+/// Transfers `bytes` of activations over NVLink between two GPUs, then
+/// continues with `then`.
+fn hop<S: HasHw>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    r: RunRef,
+    from: usize,
+    to: usize,
+    bytes: f64,
+    then: simcore::sim::EventFn<S>,
+) {
+    let (overhead, path) = {
+        let hw = state.hw();
+        let overhead = SimDur::from_nanos(
+            hw.machine
+                .nvlink
+                .map(|nv| nv.launch_overhead_ns)
+                .unwrap_or(0),
+        );
+        let path = hw.map.gpu_to_gpu(&hw.machine, from, to).unwrap_or_else(|| {
+            panic!("distributed execution requires NVLink between GPUs {from} and {to}")
+        });
+        (overhead, path)
+    };
+    ctx.schedule_in(
+        overhead,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if state.hw().run_mut(r).is_none() {
+                return;
+            }
+            start_flow(state, ctx, bytes, path, then);
+        }),
+    );
+}
+
+/// Starts executing layer `exec_next` (gate already open).
+fn exec_start_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let needed_hop = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        if run.use_warm_fast || !run.spec.distributed {
+            None
+        } else {
+            let i = run.exec_next;
+            let target = run.owner[i];
+            if target == run.current_gpu {
+                None
+            } else {
+                let bytes = if i > 0 {
+                    run.spec.rt.layers[i - 1].act_out_bytes
+                } else {
+                    0.0
+                };
+                Some((run.current_gpu, target, bytes))
+            }
+        }
+    };
+    match needed_hop {
+        None => exec_run_layer(state, ctx, r),
+        Some((from, to, bytes)) => {
+            if let Some(run) = state.hw().run_mut(r) {
+                run.current_gpu = to;
+            }
+            hop(
+                state,
+                ctx,
+                r,
+                from,
+                to,
+                bytes,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| exec_run_layer(state, ctx, r)),
+            );
+        }
+    }
+}
+
+/// Runs the compute (and DHA flow) of the current layer on the current
+/// GPU.
+fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let now = ctx.now();
+    let (compute, dha_wire, gpu, layer_idx) = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        let i = run.exec_next;
+        let (compute, wire) = if run.use_warm_fast {
+            run.warm_steps[i]
+        } else {
+            let layer = &run.spec.rt.layers[i];
+            // DHA layers read host memory on *every* execution, warm or
+            // cold — their weights are never copied to the GPU.
+            let dha = run.spec.plan.decisions[i] == LayerExec::Dha;
+            (
+                layer.exec_inmem,
+                if dha { layer.dha_wire_bytes } else { 0.0 },
+            )
+        };
+        run.layer_started = now;
+        run.pending_parts = if wire > 0.0 { 2 } else { 1 };
+        (compute, wire, run.current_gpu, i)
+    };
+    state.hw().emit(
+        now,
+        r.slot,
+        TraceKind::ExecStart {
+            layer: layer_idx,
+            dha: dha_wire > 0.0,
+        },
+    );
+    ctx.schedule_in(
+        compute,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| exec_part_done(state, ctx, r)),
+    );
+    if dha_wire > 0.0 {
+        let path = {
+            let hw = state.hw();
+            hw.map.host_to_gpu(&hw.machine, gpu)
+        };
+        start_flow(
+            state,
+            ctx,
+            dha_wire,
+            path,
+            Box::new(move |state: &mut S, ctx: &mut Ctx<S>| exec_part_done(state, ctx, r)),
+        );
+    }
+}
+
+/// One half (compute / DHA flow) of the current layer finished.
+fn exec_part_done<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let now = ctx.now();
+    let advanced = {
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        run.pending_parts -= 1;
+        if run.pending_parts == 0 {
+            run.exec_busy += now - run.layer_started;
+            let finished = run.exec_next;
+            run.exec_next += 1;
+            Some(finished)
+        } else {
+            None
+        }
+    };
+    if let Some(layer) = advanced {
+        state.hw().emit(now, r.slot, TraceKind::ExecEnd { layer });
+        exec_try(state, ctx, r);
+    }
+}
+
+/// Finishes a run: removes it and delivers the result.
+fn complete<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
+    let now = ctx.now();
+    let hw = state.hw();
+    if hw.runs.get(r.slot).map(|x| x.gen) != Some(r.gen) {
+        return;
+    }
+    let run = hw.runs.remove(r.slot).expect("checked occupied");
+    let resident_bytes: u64 = run
+        .spec
+        .rt
+        .layers
+        .iter()
+        .zip(&run.spec.plan.decisions)
+        .filter(|(_, d)| **d == LayerExec::Load)
+        .map(|(l, _)| l.param_bytes)
+        .sum();
+    let result = InferenceResult {
+        started: run.started,
+        finished: now,
+        stall: run.stall,
+        exec_busy: run.exec_busy,
+        resident_bytes,
+    };
+    if let Some(cb) = run.on_done {
+        cb(state, ctx, result);
+    }
+}

@@ -1,0 +1,26 @@
+//! Execution engine: runs [`exec_planner::ExecutionPlan`]s on the
+//! simulated multi-GPU substrate.
+//!
+//! Mirrors the paper's libTorch engine (§4.3.4): per inference there is an
+//! *execution stream* on the primary GPU, a *load stream* per transmission
+//! slot, and a *migration stream* per secondary GPU. Streams synchronise
+//! through readiness flags — the analogue of `cudaEventRecord` /
+//! `cudaStreamWaitEvent`. All transfers (PCIe loads, NVLink forwards, DHA
+//! reads) are flows in the max-min-fair network, so contention between
+//! concurrent inferences (Tables 2/4) emerges from the topology.
+
+pub mod chrome;
+pub mod hw;
+pub mod launch;
+pub mod result;
+pub mod runtime;
+pub mod single;
+pub mod timeline;
+pub mod trace;
+
+pub use hw::{HasHw, HwState, RunRef};
+pub use launch::{start_inference, LaunchSpec};
+pub use result::InferenceResult;
+pub use runtime::ModelRuntime;
+pub use single::{run_cold, run_traced, run_transfer_only, run_warm, SingleRun};
+pub use trace::{Trace, TraceEvent, TraceKind};

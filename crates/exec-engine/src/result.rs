@@ -1,0 +1,65 @@
+//! Per-inference results and latency breakdowns.
+
+use serde::{Deserialize, Serialize};
+use simcore::time::{SimDur, SimTime};
+
+/// Outcome of one inference (or transfer-only) run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceResult {
+    /// Launch instant.
+    pub started: SimTime,
+    /// Completion instant.
+    pub finished: SimTime,
+    /// Total stall time of the execution stream (waiting on weights).
+    pub stall: SimDur,
+    /// Busy time of the execution stream (includes DHA executions).
+    pub exec_busy: SimDur,
+    /// Bytes resident in the primary GPU's memory afterwards.
+    pub resident_bytes: u64,
+}
+
+impl InferenceResult {
+    /// End-to-end latency.
+    pub fn latency(&self) -> SimDur {
+        self.finished - self.started
+    }
+
+    /// Stall share of total latency (Figure 2).
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.latency().as_secs_f64();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.stall.as_secs_f64() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_fraction() {
+        let r = InferenceResult {
+            started: SimTime::from_nanos(1_000),
+            finished: SimTime::from_nanos(11_000),
+            stall: SimDur::from_nanos(4_000),
+            exec_busy: SimDur::from_nanos(6_000),
+            resident_bytes: 42,
+        };
+        assert_eq!(r.latency(), SimDur::from_nanos(10_000));
+        assert!((r.stall_fraction() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_latency_is_safe() {
+        let r = InferenceResult {
+            started: SimTime::ZERO,
+            finished: SimTime::ZERO,
+            stall: SimDur::ZERO,
+            exec_busy: SimDur::ZERO,
+            resident_bytes: 0,
+        };
+        assert_eq!(r.stall_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-(model, device, batch) runtime tables the engine executes from.
+
+use std::sync::Arc;
+
+use dnn_models::costmodel::CostModel;
+use dnn_models::model::Model;
+use gpu_topology::device::GpuSpec;
+use simcore::time::SimDur;
+
+/// Engine-facing view of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerRt {
+    /// Layer name.
+    pub name: String,
+    /// Bytes to transfer when the layer is loaded.
+    pub param_bytes: u64,
+    /// Execution time with weights resident (also the compute half of a
+    /// DHA execution).
+    pub exec_inmem: SimDur,
+    /// PCIe wire bytes a DHA execution occupies.
+    pub dha_wire_bytes: f64,
+    /// Output activation bytes per batch item (crosses NVLink at a GPU
+    /// boundary under distributed execution).
+    pub act_out_bytes: f64,
+}
+
+/// Precomputed runtime table for a model at a fixed batch size.
+#[derive(Debug, Clone)]
+pub struct ModelRuntime {
+    /// Model display name.
+    pub name: String,
+    /// Per-layer entries in execution order.
+    pub layers: Vec<LayerRt>,
+    /// Batch size the table was computed for.
+    pub batch: u32,
+    /// Total parameter bytes.
+    pub total_bytes: u64,
+}
+
+impl ModelRuntime {
+    /// Builds the table for `model` on `gpu` at `batch`.
+    pub fn new(model: &Model, gpu: &GpuSpec, batch: u32) -> Arc<Self> {
+        let cm = CostModel::new(gpu.clone());
+        let layers: Vec<LayerRt> = model
+            .layers
+            .iter()
+            .map(|l| LayerRt {
+                name: l.name.clone(),
+                param_bytes: l.transfer_bytes(),
+                exec_inmem: cm.exec_inmem(l, batch),
+                dha_wire_bytes: cm.dha_wire_bytes(l, batch),
+                act_out_bytes: l.out_bytes_per_item() * batch as f64,
+            })
+            .collect();
+        let total_bytes = layers.iter().map(|l| l.param_bytes).sum();
+        Arc::new(ModelRuntime {
+            name: model.name.clone(),
+            layers,
+            batch,
+            total_bytes,
+        })
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Per-layer parameter byte vector (planner interop).
+    pub fn param_bytes_vec(&self) -> Vec<u64> {
+        self.layers.iter().map(|l| l.param_bytes).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo::{build, ModelId};
+    use gpu_topology::device::v100;
+
+    #[test]
+    fn runtime_mirrors_model() {
+        let model = build(ModelId::ResNet50);
+        let rt = ModelRuntime::new(&model, &v100(), 1);
+        assert_eq!(rt.layer_count(), model.layer_count());
+        assert_eq!(rt.total_bytes, model.param_bytes());
+        assert_eq!(rt.batch, 1);
+    }
+
+    #[test]
+    fn batch_scales_exec_times() {
+        let model = build(ModelId::BertBase);
+        let rt1 = ModelRuntime::new(&model, &v100(), 1);
+        let rt8 = ModelRuntime::new(&model, &v100(), 8);
+        let sum = |rt: &ModelRuntime| -> f64 {
+            rt.layers.iter().map(|l| l.exec_inmem.as_secs_f64()).sum()
+        };
+        assert!(sum(&rt8) > 3.0 * sum(&rt1));
+    }
+}

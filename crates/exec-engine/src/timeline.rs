@@ -1,0 +1,229 @@
+//! ASCII Gantt rendering of execution traces.
+//!
+//! Produces the measured counterpart of the paper's Figure 1/7/9
+//! schematics: one lane per stream (execution, load per slot, migration),
+//! time flowing left to right.
+//!
+//! ```text
+//! exec      |..####=###############|
+//! load s0   |#########             |
+//! load s1   |####                  |
+//! migrate   | ####                 |
+//! ```
+//!
+//! `#` = busy, `=` = DHA execution, `.` = stalled, ` ` = idle.
+
+use simcore::time::SimTime;
+
+use crate::trace::{Trace, TraceKind};
+
+/// One rendered lane.
+#[derive(Debug, Clone)]
+pub struct Lane {
+    /// Lane label.
+    pub label: String,
+    /// Busy intervals `(start, end, glyph)`.
+    pub intervals: Vec<(SimTime, SimTime, char)>,
+}
+
+/// Extracts the lanes of one run from a trace.
+pub fn lanes(trace: &Trace, run: usize) -> Vec<Lane> {
+    let t = Trace {
+        events: trace.for_run(run),
+    };
+    let mut out = Vec::new();
+
+    // Execution lane: '#' for in-memory, '=' for DHA, '.' for stalls.
+    let mut exec = Lane {
+        label: "exec".to_string(),
+        intervals: Vec::new(),
+    };
+    let mut open: Option<(usize, SimTime, bool)> = None;
+    for e in &t.events {
+        match e.kind {
+            TraceKind::ExecStart { layer, dha } => open = Some((layer, e.at, dha)),
+            TraceKind::ExecEnd { layer } => {
+                if let Some((l, start, dha)) = open.take() {
+                    if l == layer {
+                        exec.intervals
+                            .push((start, e.at, if dha { '=' } else { '#' }));
+                    }
+                }
+            }
+            TraceKind::StallEnd { ns, .. } => {
+                let start = SimTime::from_nanos(e.at.as_nanos().saturating_sub(ns));
+                exec.intervals.push((start, e.at, '.'));
+            }
+            _ => {}
+        }
+    }
+    out.push(exec);
+
+    // Load lanes, one per slot seen in the trace.
+    let mut slots: Vec<usize> = t
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            TraceKind::LoadStart { slot, .. } => Some(slot),
+            _ => None,
+        })
+        .collect();
+    slots.sort_unstable();
+    slots.dedup();
+    for s in slots {
+        let intervals = t.intervals(
+            |k| match k {
+                TraceKind::LoadStart { layer, slot, .. } if *slot == s => {
+                    Some((*layer, String::new()))
+                }
+                _ => None,
+            },
+            |k| match k {
+                TraceKind::LoadEnd { layer, slot, .. } if *slot == s => Some(*layer),
+                _ => None,
+            },
+        );
+        out.push(Lane {
+            label: format!("load s{s}"),
+            intervals: intervals.into_iter().map(|(a, b, _)| (a, b, '#')).collect(),
+        });
+    }
+
+    // Migration lane (all secondaries together).
+    let mig = t.intervals(
+        |k| match k {
+            TraceKind::MigrateStart { layer, .. } => Some((*layer, String::new())),
+            _ => None,
+        },
+        |k| match k {
+            TraceKind::MigrateEnd { layer, .. } => Some(*layer),
+            _ => None,
+        },
+    );
+    if !mig.is_empty() {
+        out.push(Lane {
+            label: "migrate".to_string(),
+            intervals: mig.into_iter().map(|(a, b, _)| (a, b, '#')).collect(),
+        });
+    }
+    out
+}
+
+/// Renders lanes into a fixed-width ASCII chart.
+pub fn render(lanes: &[Lane], width: usize) -> String {
+    let end = lanes
+        .iter()
+        .flat_map(|l| l.intervals.iter().map(|(_, e, _)| e.as_nanos()))
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let label_w = lanes.iter().map(|l| l.label.len()).max().unwrap_or(4);
+    let mut s = String::new();
+    for lane in lanes {
+        let mut row = vec![' '; width];
+        for &(a, b, glyph) in &lane.intervals {
+            let c0 = (a.as_nanos() as u128 * width as u128 / end as u128) as usize;
+            let c1 = (b.as_nanos() as u128 * width as u128 / end as u128) as usize;
+            let c1 = c1.max(c0 + 1).min(width);
+            for cell in row
+                .iter_mut()
+                .take(c1)
+                .skip(c0.min(width.saturating_sub(1)))
+            {
+                // Stall dots never overwrite busy glyphs.
+                if glyph != '.' || *cell == ' ' {
+                    *cell = glyph;
+                }
+            }
+        }
+        s.push_str(&format!(
+            "{:<label_w$} |{}|\n",
+            lane.label,
+            row.iter().collect::<String>()
+        ));
+    }
+    s.push_str(&format!(
+        "{:<label_w$}  0{:>w$}\n",
+        "",
+        format!("{:.2}ms", end as f64 / 1e6),
+        w = width - 1
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn toy_trace() -> Trace {
+        let ev = |at: u64, kind| TraceEvent {
+            at: SimTime::from_nanos(at),
+            run: 0,
+            kind,
+        };
+        Trace {
+            events: vec![
+                ev(
+                    0,
+                    TraceKind::LoadStart {
+                        layer: 0,
+                        gpu: 0,
+                        slot: 0,
+                    },
+                ),
+                ev(
+                    100,
+                    TraceKind::LoadEnd {
+                        layer: 0,
+                        gpu: 0,
+                        slot: 0,
+                    },
+                ),
+                ev(100, TraceKind::StallEnd { layer: 0, ns: 100 }),
+                ev(
+                    100,
+                    TraceKind::ExecStart {
+                        layer: 0,
+                        dha: false,
+                    },
+                ),
+                ev(200, TraceKind::ExecEnd { layer: 0 }),
+            ],
+        }
+    }
+
+    #[test]
+    fn lanes_extracted() {
+        let lanes = lanes(&toy_trace(), 0);
+        assert_eq!(lanes.len(), 2); // exec + load s0 (no migration).
+        assert_eq!(lanes[0].label, "exec");
+        // Exec lane: one stall interval + one busy interval.
+        assert_eq!(lanes[0].intervals.len(), 2);
+        assert_eq!(lanes[1].label, "load s0");
+        assert_eq!(lanes[1].intervals.len(), 1);
+    }
+
+    #[test]
+    fn render_produces_expected_shape() {
+        let l = lanes(&toy_trace(), 0);
+        let chart = render(&l, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3); // exec, load, axis.
+        assert!(lines[0].contains('#'), "exec busy missing: {}", lines[0]);
+        assert!(lines[0].contains('.'), "stall missing: {}", lines[0]);
+        assert!(lines[1].contains('#'));
+        // Load occupies the first half, exec the second.
+        let exec_row = lines[0];
+        let hash_pos = exec_row.find('#').unwrap();
+        let load_row = lines[1];
+        let load_end = load_row.rfind('#').unwrap();
+        assert!(hash_pos >= load_end.saturating_sub(1));
+    }
+
+    #[test]
+    fn empty_trace_renders() {
+        let chart = render(&[], 10);
+        assert!(chart.contains("0"));
+    }
+}

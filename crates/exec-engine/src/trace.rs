@@ -1,0 +1,177 @@
+//! Execution tracing: capture what every stream did, when.
+//!
+//! When enabled on the hardware state, the engine records an event for
+//! every transfer and execution interval. The [`crate::timeline`] module
+//! renders traces as ASCII Gantt charts — the same picture as the paper's
+//! Figure 1/7/8/9 schematics, but measured.
+
+use serde::{Deserialize, Serialize};
+use simcore::time::SimTime;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A layer's host→GPU copy entered the wire.
+    LoadStart {
+        /// Layer index.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Transmission slot.
+        slot: usize,
+    },
+    /// A layer's host→GPU copy completed.
+    LoadEnd {
+        /// Layer index.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Transmission slot.
+        slot: usize,
+    },
+    /// A layer's NVLink forward started.
+    MigrateStart {
+        /// Layer index.
+        layer: usize,
+        /// Source (secondary) GPU.
+        from: usize,
+    },
+    /// A layer's NVLink forward completed.
+    MigrateEnd {
+        /// Layer index.
+        layer: usize,
+        /// Source (secondary) GPU.
+        from: usize,
+    },
+    /// The execution stream started a layer (step index for warm runs).
+    ExecStart {
+        /// Layer / warm-step index.
+        layer: usize,
+        /// Whether the layer executes via direct-host-access.
+        dha: bool,
+    },
+    /// The execution stream finished a layer.
+    ExecEnd {
+        /// Layer / warm-step index.
+        layer: usize,
+    },
+    /// The execution stream unblocked after a stall.
+    StallEnd {
+        /// Layer it was waiting for.
+        layer: usize,
+        /// Stall length in nanoseconds.
+        ns: u64,
+    },
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Timestamp.
+    pub at: SimTime,
+    /// Run slot the event belongs to.
+    pub run: usize,
+    /// Event payload.
+    pub kind: TraceKind,
+}
+
+/// A captured trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Events in emission order (time-sorted by construction).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Events of one run only.
+    pub fn for_run(&self, run: usize) -> Vec<TraceEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.run == run)
+            .collect()
+    }
+
+    /// Paired `(start, end, label)` intervals for a lane selected by
+    /// `key`: events where `key` returns `Some(id)` open (on a *Start
+    /// kind) and close (on the matching *End kind) an interval.
+    pub fn intervals(
+        &self,
+        mut open: impl FnMut(&TraceKind) -> Option<(usize, String)>,
+        mut close: impl FnMut(&TraceKind) -> Option<usize>,
+    ) -> Vec<(SimTime, SimTime, String)> {
+        let mut pending: Vec<(usize, SimTime, String)> = Vec::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            if let Some((id, label)) = open(&e.kind) {
+                pending.push((id, e.at, label));
+            } else if let Some(id) = close(&e.kind) {
+                if let Some(pos) = pending.iter().position(|(pid, _, _)| *pid == id) {
+                    let (_, start, label) = pending.swap_remove(pos);
+                    out.push((start, e.at, label));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_pairing() {
+        let mut t = Trace::default();
+        let ev = |at: u64, kind: TraceKind| TraceEvent {
+            at: SimTime::from_nanos(at),
+            run: 0,
+            kind,
+        };
+        t.events.push(ev(
+            10,
+            TraceKind::ExecStart {
+                layer: 0,
+                dha: false,
+            },
+        ));
+        t.events.push(ev(20, TraceKind::ExecEnd { layer: 0 }));
+        t.events.push(ev(
+            25,
+            TraceKind::ExecStart {
+                layer: 1,
+                dha: true,
+            },
+        ));
+        t.events.push(ev(40, TraceKind::ExecEnd { layer: 1 }));
+        let iv = t.intervals(
+            |k| match k {
+                TraceKind::ExecStart { layer, .. } => Some((*layer, format!("L{layer}"))),
+                _ => None,
+            },
+            |k| match k {
+                TraceKind::ExecEnd { layer } => Some(*layer),
+                _ => None,
+            },
+        );
+        assert_eq!(iv.len(), 2);
+        assert_eq!(iv[0].2, "L0");
+        assert_eq!(iv[1].0, SimTime::from_nanos(25));
+    }
+
+    #[test]
+    fn run_filter() {
+        let mut t = Trace::default();
+        t.events.push(TraceEvent {
+            at: SimTime::ZERO,
+            run: 3,
+            kind: TraceKind::ExecEnd { layer: 0 },
+        });
+        t.events.push(TraceEvent {
+            at: SimTime::ZERO,
+            run: 4,
+            kind: TraceKind::ExecEnd { layer: 0 },
+        });
+        assert_eq!(t.for_run(3).len(), 1);
+    }
+}

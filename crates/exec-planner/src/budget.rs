@@ -1,0 +1,165 @@
+//! Memory-budget planning (paper §7, future work).
+//!
+//! "DeepPlan can allow inferences to models which are not fit in single
+//! GPU memory ... a cost-effective alternative" — instead of capping a
+//! model at GPU capacity, keep enough layers in host memory (executed via
+//! DHA forever) that the resident set fits a byte budget, choosing the
+//! layers whose DHA penalty per byte saved is smallest.
+
+use layer_profiler::profile::ModelProfile;
+
+use crate::algorithm::plan_dha;
+use crate::plan::LayerExec;
+
+/// Result of budget planning.
+#[derive(Debug, Clone)]
+pub struct BudgetPlan {
+    /// Per-layer decisions (superset of Algorithm 1's DHA choices).
+    pub decisions: Vec<LayerExec>,
+    /// Resident bytes under the decisions.
+    pub resident_bytes: u64,
+    /// Bytes pinned in host memory.
+    pub host_bytes: u64,
+    /// Estimated warm-latency penalty versus an all-resident plan, in
+    /// seconds (sum of `PerfDiff` over the extra DHA layers).
+    pub warm_penalty_secs: f64,
+}
+
+/// Plans a DHA set that fits `budget_bytes` of GPU memory.
+///
+/// Starts from Algorithm 1 (which already flips the layers that are
+/// outright wins) and then greedily flips the remaining `Load` layers in
+/// ascending `PerfDiff`-per-byte order until the resident set fits. The
+/// all-DHA plan occupies zero resident bytes, so any non-negative budget
+/// is feasible.
+pub fn plan_for_memory_budget(profile: &ModelProfile, budget_bytes: u64) -> BudgetPlan {
+    let mut decisions = plan_dha(profile);
+    let mut resident: u64 = profile
+        .layers
+        .iter()
+        .zip(&decisions)
+        .filter(|(_, d)| **d == LayerExec::Load)
+        .map(|(l, _)| l.param_bytes)
+        .sum();
+
+    if resident > budget_bytes {
+        // Candidates: still-loaded layers, cheapest DHA cost per byte
+        // saved first. `PerfDiff` may be negative (then it is free).
+        let mut candidates: Vec<usize> = (0..profile.layers.len())
+            .filter(|&i| decisions[i] == LayerExec::Load && profile.layers[i].has_params())
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            let cost = |i: usize| {
+                profile.layers[i].perf_diff().max(0.0) / profile.layers[i].param_bytes as f64
+            };
+            cost(a).partial_cmp(&cost(b)).expect("finite cost")
+        });
+        for i in candidates {
+            if resident <= budget_bytes {
+                break;
+            }
+            decisions[i] = LayerExec::Dha;
+            resident -= profile.layers[i].param_bytes;
+        }
+    }
+
+    let total: u64 = profile.layers.iter().map(|l| l.param_bytes).sum();
+    let baseline = plan_dha(profile);
+    let warm_penalty_secs = profile
+        .layers
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| decisions[*i] == LayerExec::Dha && baseline[*i] == LayerExec::Load)
+        .map(|(_, l)| l.perf_diff().max(0.0))
+        .sum();
+    BudgetPlan {
+        host_bytes: total - resident,
+        resident_bytes: resident,
+        decisions,
+        warm_penalty_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo::{build, ModelId};
+    use gpu_topology::device::v100;
+    use layer_profiler::profiler::Profiler;
+
+    fn profile(id: ModelId) -> ModelProfile {
+        Profiler::exact(v100()).profile(&build(id), 1).0
+    }
+
+    #[test]
+    fn generous_budget_equals_algorithm1() {
+        let p = profile(ModelId::BertBase);
+        let b = plan_for_memory_budget(&p, u64::MAX / 2);
+        assert_eq!(b.decisions, plan_dha(&p));
+        assert_eq!(b.warm_penalty_secs, 0.0);
+    }
+
+    #[test]
+    fn budget_is_respected_at_every_level() {
+        let p = profile(ModelId::BertLarge);
+        let total = p.param_bytes();
+        for frac in [0.75, 0.5, 0.25, 0.1, 0.0] {
+            let budget = (total as f64 * frac) as u64;
+            let b = plan_for_memory_budget(&p, budget);
+            assert!(
+                b.resident_bytes <= budget,
+                "frac {frac}: resident {} > budget {budget}",
+                b.resident_bytes
+            );
+            assert_eq!(b.resident_bytes + b.host_bytes, total);
+        }
+    }
+
+    #[test]
+    fn warm_penalty_grows_as_budget_shrinks() {
+        let p = profile(ModelId::BertBase);
+        let total = p.param_bytes();
+        let mut prev = -1.0;
+        for frac in [0.8, 0.5, 0.3, 0.1] {
+            let b = plan_for_memory_budget(&p, (total as f64 * frac) as u64);
+            assert!(
+                b.warm_penalty_secs >= prev,
+                "penalty not monotone at frac {frac}"
+            );
+            prev = b.warm_penalty_secs;
+        }
+    }
+
+    #[test]
+    fn cheapest_bytes_go_first() {
+        // With a budget that forces exactly some flips, the chosen extra
+        // DHA layers must have no worse PerfDiff-per-byte than any
+        // still-loaded layer.
+        let p = profile(ModelId::BertBase);
+        let total = p.param_bytes();
+        let b = plan_for_memory_budget(&p, total / 2);
+        let baseline = plan_dha(&p);
+        let cost =
+            |i: usize| p.layers[i].perf_diff().max(0.0) / p.layers[i].param_bytes.max(1) as f64;
+        let worst_flipped = (0..p.layers.len())
+            .filter(|&i| b.decisions[i] == LayerExec::Dha && baseline[i] == LayerExec::Load)
+            .map(cost)
+            .fold(0.0_f64, f64::max);
+        let best_kept = (0..p.layers.len())
+            .filter(|&i| b.decisions[i] == LayerExec::Load)
+            .map(cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            worst_flipped <= best_kept * (1.0 + 1e-9),
+            "greedy order violated: {worst_flipped} > {best_kept}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_puts_everything_host_side() {
+        let p = profile(ModelId::ResNet50);
+        let b = plan_for_memory_budget(&p, 0);
+        assert_eq!(b.resident_bytes, 0);
+        assert!(b.decisions.iter().all(|d| *d == LayerExec::Dha));
+    }
+}

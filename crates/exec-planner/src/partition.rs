@@ -1,0 +1,111 @@
+//! Byte-balanced contiguous model partitioning (paper §4.3.3: "we equally
+//! partition a given model into the number of GPUs participating in the
+//! parallel-transmission").
+
+/// Splits `bytes` (per-layer sizes, zero entries allowed) into `k`
+/// contiguous groups of layer indices with near-equal byte sums.
+///
+/// Greedy scan: cut when the running sum reaches the remaining-average
+/// target. Zero-byte layers attach to the current group. Always returns
+/// exactly `k` groups (later groups may be empty when `k` exceeds the
+/// number of non-zero layers).
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn partition_by_bytes(bytes: &[u64], k: usize) -> Vec<Vec<usize>> {
+    assert!(k > 0, "need at least one partition");
+    let total: u64 = bytes.iter().sum();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); k];
+    if total == 0 {
+        for (i, b) in bytes.iter().enumerate() {
+            if *b > 0 {
+                groups[0].push(i);
+            }
+        }
+        return groups;
+    }
+    let mut remaining = total;
+    let mut g = 0usize;
+    let mut acc = 0u64;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == 0 {
+            continue;
+        }
+        // Target for the current group: even share of what is left.
+        let target = remaining.div_ceil((k - g) as u64);
+        if g + 1 < k && acc > 0 && acc + b > target + b / 2 {
+            // Close this group; the new layer opens the next one.
+            remaining -= acc;
+            acc = 0;
+            g += 1;
+        }
+        groups[g].push(i);
+        acc += b;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sums(bytes: &[u64], groups: &[Vec<usize>]) -> Vec<u64> {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|&i| bytes[i]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn even_split_of_uniform_layers() {
+        let bytes = vec![10u64; 10];
+        let groups = partition_by_bytes(&bytes, 2);
+        assert_eq!(sums(&bytes, &groups), vec![50, 50]);
+        assert_eq!(groups[0], vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_partition_takes_everything() {
+        let bytes = vec![5, 0, 7, 3];
+        let groups = partition_by_bytes(&bytes, 1);
+        assert_eq!(groups, vec![vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn groups_are_contiguous_and_cover_all() {
+        let bytes: Vec<u64> = (1..=20).map(|i| (i * 37) % 13 + 1).collect();
+        for k in 1..=4 {
+            let groups = partition_by_bytes(&bytes, k);
+            assert_eq!(groups.len(), k);
+            let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+            let expect: Vec<usize> = (0..20).collect();
+            assert_eq!(flat, expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn imbalance_is_bounded_by_largest_layer() {
+        let bytes = vec![100, 1, 1, 1, 90, 1, 1, 1, 95, 1];
+        let groups = partition_by_bytes(&bytes, 2);
+        let s = sums(&bytes, &groups);
+        let diff = s[0].abs_diff(s[1]);
+        assert!(diff <= 100, "imbalance {diff} with sums {s:?}");
+    }
+
+    #[test]
+    fn zero_byte_layers_are_skipped() {
+        let bytes = vec![0, 10, 0, 10, 0];
+        let groups = partition_by_bytes(&bytes, 2);
+        assert_eq!(groups[0], vec![1]);
+        assert_eq!(groups[1], vec![3]);
+    }
+
+    #[test]
+    fn more_partitions_than_layers_yields_empty_tails() {
+        let bytes = vec![10, 10];
+        let groups = partition_by_bytes(&bytes, 4);
+        assert_eq!(groups.len(), 4);
+        assert!(groups[2].is_empty() && groups[3].is_empty());
+    }
+}

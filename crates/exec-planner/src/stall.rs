@@ -1,0 +1,205 @@
+//! Analytic pipeline schedule estimation.
+//!
+//! A lightweight model of the engine's behaviour on one GPU: the load
+//! stream copies `Load` layers sequentially; the execution stream runs
+//! layers in order, stalling when it reaches a layer whose weights are not
+//! yet resident (paper Figure 1c/2). DHA layers never stall — their
+//! weights stay host-side — but execute at `Exe(DHA)`.
+//!
+//! This is the planner's view (uncontended links). The execution engine
+//! reproduces the same schedule through the flow network and adds
+//! contention when several transfers share links.
+
+use layer_profiler::profile::ModelProfile;
+use simcore::time::SimDur;
+
+use crate::plan::LayerExec;
+
+/// Predicted pipeline schedule for one decision vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleEstimate {
+    /// Stall before each layer's execution.
+    pub layer_stall: Vec<SimDur>,
+    /// End-to-end latency (request arrival to last layer done).
+    pub total: SimDur,
+    /// Sum of execution-stream busy time.
+    pub exec_busy: SimDur,
+    /// Sum of stalls.
+    pub stall_total: SimDur,
+}
+
+impl ScheduleEstimate {
+    /// Stall share of total latency (Figure 2's hatched fraction).
+    pub fn stall_fraction(&self) -> f64 {
+        if self.total == SimDur::ZERO {
+            return 0.0;
+        }
+        self.stall_total.as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+/// Estimates the single-GPU pipeline schedule.
+///
+/// With `pipelined == false`, execution begins only after every `Load`
+/// layer has been copied (the Baseline of Figure 1b).
+///
+/// # Panics
+///
+/// Panics if `decisions.len() != profile.layers.len()`.
+pub fn estimate_pipeline(
+    profile: &ModelProfile,
+    decisions: &[LayerExec],
+    pipelined: bool,
+) -> ScheduleEstimate {
+    assert_eq!(
+        decisions.len(),
+        profile.layers.len(),
+        "decision vector length mismatch"
+    );
+    let n = profile.layers.len();
+    // Ready time per layer: cumulative position in the load stream. A DHA
+    // layer's PCIe reads steal the link from the load stream while they
+    // run, so loads *after* a DHA layer are pushed back by its wire time.
+    let mut ready = vec![SimDur::ZERO; n];
+    let mut load_t = SimDur::ZERO;
+    let mut dha_penalty = SimDur::ZERO;
+    for (i, (layer, d)) in profile.layers.iter().zip(decisions).enumerate() {
+        match d {
+            LayerExec::Load if layer.has_params() => {
+                load_t += layer.load;
+                ready[i] = load_t + dha_penalty;
+            }
+            LayerExec::Dha => dha_penalty += layer.dha_wire,
+            _ => {}
+        }
+    }
+    let all_loaded = load_t + dha_penalty;
+
+    let mut layer_stall = vec![SimDur::ZERO; n];
+    let mut exec_t = SimDur::ZERO;
+    let mut exec_busy = SimDur::ZERO;
+    for (i, (layer, d)) in profile.layers.iter().zip(decisions).enumerate() {
+        let gate = if pipelined { ready[i] } else { all_loaded };
+        let start = exec_t.max(gate);
+        layer_stall[i] = start.saturating_sub(exec_t);
+        let dur = match d {
+            LayerExec::Load => layer.exec_inmem,
+            // DHA reads share the PCIe link with the load stream while it
+            // is still busy; afterwards they run uncontended.
+            LayerExec::Dha if start < all_loaded => layer.exec_dha_contended(),
+            LayerExec::Dha => layer.exec_dha,
+        };
+        exec_t = start + dur;
+        exec_busy += dur;
+    }
+    let stall_total = layer_stall.iter().copied().sum();
+    ScheduleEstimate {
+        layer_stall,
+        total: exec_t,
+        exec_busy,
+        stall_total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use layer_profiler::profile::LayerProfile;
+
+    fn layer(name: &str, load_us: f64, inmem_us: f64, dha_us: f64) -> LayerProfile {
+        LayerProfile {
+            name: name.into(),
+            class: "FC".into(),
+            param_bytes: if load_us > 0.0 { 1000 } else { 0 },
+            load: SimDur::from_micros_f64(load_us),
+            exec_inmem: SimDur::from_micros_f64(inmem_us),
+            exec_dha: SimDur::from_micros_f64(dha_us),
+            dha_wire: SimDur::ZERO,
+            dha_wire_bytes: 0.0,
+            pcie_txn_load: 0,
+            pcie_txn_dha: 0,
+        }
+    }
+
+    fn profile(layers: Vec<LayerProfile>) -> ModelProfile {
+        ModelProfile {
+            model: "toy".into(),
+            device: "V100".into(),
+            batch: 1,
+            layers,
+        }
+    }
+
+    #[test]
+    fn fully_overlapped_pipeline_has_one_stall() {
+        // Loads 10us each, exec 20us each: only the first layer stalls.
+        let p = profile(vec![
+            layer("a", 10.0, 20.0, 99.0),
+            layer("b", 10.0, 20.0, 99.0),
+            layer("c", 10.0, 20.0, 99.0),
+        ]);
+        let d = vec![LayerExec::Load; 3];
+        let est = estimate_pipeline(&p, &d, true);
+        assert_eq!(est.layer_stall[0], SimDur::from_micros(10));
+        assert_eq!(est.layer_stall[1], SimDur::ZERO);
+        assert_eq!(est.layer_stall[2], SimDur::ZERO);
+        assert_eq!(est.total, SimDur::from_micros(70));
+    }
+
+    #[test]
+    fn slow_loads_stall_every_layer() {
+        let p = profile(vec![
+            layer("a", 30.0, 10.0, 99.0),
+            layer("b", 30.0, 10.0, 99.0),
+        ]);
+        let est = estimate_pipeline(&p, &vec![LayerExec::Load; 2], true);
+        // Exec a: waits 30, runs to 40. Layer b ready at 60: stall 20.
+        assert_eq!(est.layer_stall[1], SimDur::from_micros(20));
+        assert_eq!(est.total, SimDur::from_micros(70));
+        assert!(est.stall_fraction() > 0.5);
+    }
+
+    #[test]
+    fn baseline_waits_for_all_loads() {
+        let p = profile(vec![
+            layer("a", 30.0, 10.0, 99.0),
+            layer("b", 30.0, 10.0, 99.0),
+        ]);
+        let est = estimate_pipeline(&p, &vec![LayerExec::Load; 2], false);
+        assert_eq!(est.total, SimDur::from_micros(80));
+        assert_eq!(est.layer_stall[0], SimDur::from_micros(60));
+    }
+
+    #[test]
+    fn dha_layer_removes_its_load_and_uses_dha_time() {
+        let p = profile(vec![
+            layer("a", 30.0, 10.0, 15.0),
+            layer("b", 30.0, 10.0, 99.0),
+        ]);
+        let d = vec![LayerExec::Dha, LayerExec::Load];
+        let est = estimate_pipeline(&p, &d, true);
+        // Exec a: DHA, starts immediately, 15us. Load stream only carries
+        // b: ready at 30. Stall for b = 15.
+        assert_eq!(est.layer_stall[0], SimDur::ZERO);
+        assert_eq!(est.layer_stall[1], SimDur::from_micros(15));
+        assert_eq!(est.total, SimDur::from_micros(40));
+    }
+
+    #[test]
+    fn paramfree_layers_never_gate() {
+        let p = profile(vec![
+            layer("relu", 0.0, 5.0, 5.0),
+            layer("b", 20.0, 10.0, 99.0),
+        ]);
+        let est = estimate_pipeline(&p, &[LayerExec::Dha, LayerExec::Load], true);
+        assert_eq!(est.layer_stall[0], SimDur::ZERO);
+        assert_eq!(est.total, SimDur::from_micros(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let p = profile(vec![layer("a", 1.0, 1.0, 1.0)]);
+        estimate_pipeline(&p, &[], true);
+    }
+}

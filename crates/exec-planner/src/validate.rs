@@ -1,0 +1,157 @@
+//! Plan validation.
+//!
+//! Plans are artifacts that cross process boundaries (generated offline,
+//! deployed into the serving system — paper Figure 10 step ④), so the
+//! engine validates them before use.
+
+use layer_profiler::profile::ModelProfile;
+
+use crate::plan::{ExecutionPlan, LayerExec};
+
+/// Reasons a plan is rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// `decisions.len()` does not match the model's layer count.
+    LengthMismatch {
+        /// Layers in the profile.
+        expected: usize,
+        /// Decisions in the plan.
+        got: usize,
+    },
+    /// A parameter-free layer is marked `Load`.
+    LoadWithoutParams(usize),
+    /// A `Load` layer is missing from every partition.
+    UnpartitionedLoad(usize),
+    /// A layer appears in more than one partition (or twice in one).
+    DuplicatePartitionEntry(usize),
+    /// A partition lists a layer that is not `Load`.
+    PartitionedNonLoad(usize),
+    /// A partition's layer indices are not in execution order.
+    UnorderedPartition(usize),
+    /// The plan has no partitions at all.
+    NoPartitions,
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::LengthMismatch { expected, got } => {
+                write!(f, "plan has {got} decisions for {expected} layers")
+            }
+            PlanError::LoadWithoutParams(i) => {
+                write!(f, "layer {i} has no parameters but is marked Load")
+            }
+            PlanError::UnpartitionedLoad(i) => write!(f, "Load layer {i} not in any partition"),
+            PlanError::DuplicatePartitionEntry(i) => {
+                write!(f, "layer {i} appears in multiple partition slots")
+            }
+            PlanError::PartitionedNonLoad(i) => {
+                write!(f, "partitioned layer {i} is not marked Load")
+            }
+            PlanError::UnorderedPartition(s) => write!(f, "partition {s} is not in layer order"),
+            PlanError::NoPartitions => write!(f, "plan has no partitions"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Validates `plan` against the profile it claims to cover.
+pub fn validate(plan: &ExecutionPlan, profile: &ModelProfile) -> Result<(), PlanError> {
+    let n = profile.layers.len();
+    if plan.decisions.len() != n {
+        return Err(PlanError::LengthMismatch {
+            expected: n,
+            got: plan.decisions.len(),
+        });
+    }
+    if plan.partitions.is_empty() {
+        return Err(PlanError::NoPartitions);
+    }
+    for (i, (d, l)) in plan.decisions.iter().zip(&profile.layers).enumerate() {
+        if *d == LayerExec::Load && !l.has_params() {
+            return Err(PlanError::LoadWithoutParams(i));
+        }
+    }
+    let mut seen = vec![false; n];
+    for (s, part) in plan.partitions.iter().enumerate() {
+        let mut prev: Option<usize> = None;
+        for &i in part {
+            if i >= n || plan.decisions[i] != LayerExec::Load {
+                return Err(PlanError::PartitionedNonLoad(i.min(n)));
+            }
+            if seen[i] {
+                return Err(PlanError::DuplicatePartitionEntry(i));
+            }
+            seen[i] = true;
+            if let Some(p) = prev {
+                if i <= p {
+                    return Err(PlanError::UnorderedPartition(s));
+                }
+            }
+            prev = Some(i);
+        }
+    }
+    for (i, d) in plan.decisions.iter().enumerate() {
+        if *d == LayerExec::Load && !seen[i] {
+            return Err(PlanError::UnpartitionedLoad(i));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, PlanMode};
+    use dnn_models::zoo::{build, ModelId};
+    use gpu_topology::device::v100;
+    use gpu_topology::presets::p3_8xlarge;
+    use layer_profiler::profiler::Profiler;
+
+    fn profile() -> ModelProfile {
+        Profiler::exact(v100()).profile(&build(ModelId::Gpt2), 1).0
+    }
+
+    #[test]
+    fn generated_plans_validate_for_all_modes() {
+        let p = profile();
+        let m = p3_8xlarge();
+        for mode in PlanMode::all() {
+            let plan = generate(&p, &m, mode, 2);
+            validate(&plan, &p).unwrap_or_else(|e| panic!("{mode}: {e}"));
+        }
+    }
+
+    #[test]
+    fn detects_length_mismatch() {
+        let p = profile();
+        let mut plan = generate(&p, &p3_8xlarge(), PlanMode::PipeSwitch, 2);
+        plan.decisions.pop();
+        assert!(matches!(
+            validate(&plan, &p),
+            Err(PlanError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unpartitioned_load() {
+        let p = profile();
+        let mut plan = generate(&p, &p3_8xlarge(), PlanMode::PipeSwitch, 2);
+        let victim = plan.partitions[0].pop().unwrap();
+        let err = validate(&plan, &p).unwrap_err();
+        assert_eq!(err, PlanError::UnpartitionedLoad(victim));
+    }
+
+    #[test]
+    fn detects_duplicates_and_order() {
+        let p = profile();
+        let mut plan = generate(&p, &p3_8xlarge(), PlanMode::Pt, 2);
+        let dup = plan.partitions[0][0];
+        plan.partitions[1].push(dup);
+        assert!(matches!(
+            validate(&plan, &p),
+            Err(PlanError::DuplicatePartitionEntry(_)) | Err(PlanError::UnorderedPartition(_))
+        ));
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for partitioning, Algorithm 1 and plan validation.
+
+use exec_planner::algorithm::{plan_dha, plan_naive_dha};
+use exec_planner::partition::partition_by_bytes;
+use exec_planner::plan::LayerExec;
+use exec_planner::stall::estimate_pipeline;
+use layer_profiler::profile::{LayerProfile, ModelProfile};
+use proptest::prelude::*;
+use simcore::time::SimDur;
+
+fn arb_profile() -> impl Strategy<Value = ModelProfile> {
+    prop::collection::vec(
+        (
+            0u64..4_000_000, // param bytes (0 => param-free layer)
+            1.0f64..2_000.0, // exec_inmem us
+            0.1f64..20.0,    // dha multiplier over inmem
+        ),
+        1..40,
+    )
+    .prop_map(|rows| {
+        let layers = rows
+            .into_iter()
+            .enumerate()
+            .map(|(i, (bytes, inmem_us, dha_mul))| {
+                let load_us = if bytes == 0 {
+                    0.0
+                } else {
+                    10.0 + bytes as f64 / 12_000.0
+                };
+                let dha_us = if bytes == 0 {
+                    inmem_us
+                } else {
+                    inmem_us * dha_mul
+                };
+                let wire_us = (dha_us - inmem_us).max(0.0) * 0.5;
+                LayerProfile {
+                    name: format!("l{i}"),
+                    class: "FC".into(),
+                    param_bytes: bytes,
+                    load: SimDur::from_micros_f64(load_us),
+                    exec_inmem: SimDur::from_micros_f64(inmem_us),
+                    exec_dha: SimDur::from_micros_f64(dha_us),
+                    dha_wire: SimDur::from_micros_f64(wire_us),
+                    dha_wire_bytes: wire_us * 12_000.0,
+                    pcie_txn_load: bytes / 64,
+                    pcie_txn_dha: bytes / 32,
+                }
+            })
+            .collect();
+        ModelProfile {
+            model: "prop".into(),
+            device: "V100".into(),
+            batch: 1,
+            layers,
+        }
+    })
+}
+
+proptest! {
+    #[test]
+    fn partitions_are_contiguous_balanced_and_complete(
+        bytes in prop::collection::vec(0u64..1_000_000, 1..64),
+        k in 1usize..6,
+    ) {
+        let groups = partition_by_bytes(&bytes, k);
+        prop_assert_eq!(groups.len(), k);
+        // Complete & ordered coverage of non-zero layers.
+        let flat: Vec<usize> = groups.iter().flatten().copied().collect();
+        let expect: Vec<usize> = (0..bytes.len()).filter(|&i| bytes[i] > 0).collect();
+        prop_assert_eq!(flat, expect);
+        // Balance: no group exceeds the even share by more than the
+        // largest single layer.
+        let total: u64 = bytes.iter().sum();
+        let largest = bytes.iter().copied().max().unwrap_or(0);
+        for g in &groups {
+            let s: u64 = g.iter().map(|&i| bytes[i]).sum();
+            prop_assert!(
+                s <= total / k as u64 + largest,
+                "group sum {s} too large (total {total}, k {k}, largest {largest})"
+            );
+        }
+    }
+
+    #[test]
+    fn algorithm1_never_slower_than_pipeswitch(profile in arb_profile()) {
+        let d = plan_dha(&profile);
+        let all_load: Vec<LayerExec> = profile
+            .layers
+            .iter()
+            .map(|l| if l.has_params() { LayerExec::Load } else { LayerExec::Dha })
+            .collect();
+        let ps = estimate_pipeline(&profile, &all_load, true);
+        let dp = estimate_pipeline(&profile, &d, true);
+        prop_assert!(
+            dp.total <= ps.total,
+            "planned {:?} > pipeswitch {:?}",
+            dp.total,
+            ps.total
+        );
+    }
+
+    #[test]
+    fn decisions_respect_parameter_freeness(profile in arb_profile()) {
+        for decisions in [plan_dha(&profile), plan_naive_dha(&profile)] {
+            for (l, d) in profile.layers.iter().zip(&decisions) {
+                if !l.has_params() {
+                    prop_assert_eq!(*d, LayerExec::Dha);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn estimator_total_is_at_least_exec_sum(profile in arb_profile()) {
+        let d = plan_dha(&profile);
+        let est = estimate_pipeline(&profile, &d, true);
+        prop_assert!(est.total >= est.exec_busy.saturating_sub(SimDur::from_nanos(2)));
+        prop_assert_eq!(est.layer_stall.len(), profile.layers.len());
+    }
+
+    #[test]
+    fn baseline_never_faster_than_pipelined(profile in arb_profile()) {
+        let all_load: Vec<LayerExec> = profile
+            .layers
+            .iter()
+            .map(|l| if l.has_params() { LayerExec::Load } else { LayerExec::Dha })
+            .collect();
+        let pipe = estimate_pipeline(&profile, &all_load, true);
+        let base = estimate_pipeline(&profile, &all_load, false);
+        prop_assert!(base.total >= pipe.total);
+    }
+}

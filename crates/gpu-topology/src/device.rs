@@ -1,0 +1,126 @@
+//! Device and link specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Performance/capacity description of a GPU model.
+///
+/// The numbers are *effective* figures for the analytic cost model, not
+/// peak datasheet values: `fp32_tflops` is already derated for typical
+/// kernel efficiency, and `pcie` is the achievable pinned-copy bandwidth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"V100-SXM2-16GB"`.
+    pub name: String,
+    /// Device memory capacity in bytes.
+    pub mem_bytes: u64,
+    /// Effective FP32 throughput in TFLOP/s for dense kernels.
+    pub fp32_tflops: f64,
+    /// Effective local (HBM/GDDR) bandwidth in bytes/sec.
+    pub mem_bw: f64,
+    /// Host link (PCIe) effective bandwidth in bytes/sec per GPU slot.
+    pub pcie: LinkSpec,
+}
+
+/// An interconnect link specification.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// Effective bandwidth in bytes/sec.
+    pub bandwidth: f64,
+    /// Fixed per-transfer launch overhead in nanoseconds (DMA setup,
+    /// driver call). Charged once per layer transfer, off the wire.
+    pub launch_overhead_ns: u64,
+}
+
+impl LinkSpec {
+    /// Creates a link from a GB/s figure and a microsecond overhead.
+    pub fn new_gbps(gbps: f64, overhead_us: f64) -> Self {
+        LinkSpec {
+            bandwidth: gbps * 1e9,
+            launch_overhead_ns: (overhead_us * 1e3) as u64,
+        }
+    }
+
+    /// Pure wire time for `bytes`, excluding launch overhead, in seconds.
+    pub fn wire_secs(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth
+    }
+}
+
+/// NVIDIA V100 (16 GB, SXM2) behind PCIe 3.0 x16.
+///
+/// Effective PCIe 3.0 pinned-copy bandwidth ≈ 12 GB/s; per-transfer launch
+/// overhead ≈ 10 µs (this pair reproduces the paper's Table 2 average
+/// bandwidths of 9.1–11.5 GB/s once layer-size mixes are applied).
+pub fn v100() -> GpuSpec {
+    GpuSpec {
+        name: "V100-SXM2-16GB".to_string(),
+        mem_bytes: 16 * (1 << 30),
+        fp32_tflops: 9.8, // 15.7 peak derated to dense-kernel reality.
+        mem_bw: 830e9,
+        pcie: LinkSpec::new_gbps(12.0, 10.0),
+    }
+}
+
+/// NVIDIA RTX A5000 (24 GB) behind PCIe 4.0 x16.
+pub fn a5000() -> GpuSpec {
+    GpuSpec {
+        name: "RTX-A5000-24GB".to_string(),
+        mem_bytes: 24 * (1 << 30),
+        fp32_tflops: 15.5, // 27.8 peak derated.
+        mem_bw: 700e9,
+        pcie: LinkSpec::new_gbps(23.0, 8.0),
+    }
+}
+
+/// NVLink specification between a GPU pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NvLinkSpec {
+    /// Effective unidirectional bandwidth in bytes/sec.
+    pub bandwidth: f64,
+    /// Per-transfer launch overhead in nanoseconds.
+    pub launch_overhead_ns: u64,
+}
+
+impl NvLinkSpec {
+    /// V100 NVLink 2.0 (p3.8xlarge-style pairing): ~40 GB/s effective.
+    pub fn v100_nvlink2() -> Self {
+        NvLinkSpec {
+            bandwidth: 40e9,
+            launch_overhead_ns: 7_000,
+        }
+    }
+
+    /// A5000 NVLink bridge: ~50 GB/s effective.
+    pub fn a5000_bridge() -> Self {
+        NvLinkSpec {
+            bandwidth: 50e9,
+            launch_overhead_ns: 7_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linkspec_units() {
+        let l = LinkSpec::new_gbps(12.0, 10.0);
+        assert_eq!(l.bandwidth, 12e9);
+        assert_eq!(l.launch_overhead_ns, 10_000);
+        assert!((l.wire_secs(12e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn v100_capacity() {
+        let g = v100();
+        assert_eq!(g.mem_bytes, 17_179_869_184);
+        assert!(g.fp32_tflops > 5.0 && g.fp32_tflops < 16.0);
+    }
+
+    #[test]
+    fn a5000_is_pcie4() {
+        // PCIe 4.0 should be roughly twice the 3.0 effective bandwidth.
+        assert!(a5000().pcie.bandwidth > 1.7 * v100().pcie.bandwidth);
+    }
+}

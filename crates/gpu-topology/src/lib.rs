@@ -1,0 +1,20 @@
+//! GPU server hardware topology.
+//!
+//! DeepPlan's parallel-transmission planning depends on how GPUs hang off
+//! the host: GPUs behind the *same* PCIe switch contend for the switch
+//! uplink (paper §3.2, Table 2), and partitions can only be merged over
+//! NVLink. This crate describes machines (GPU specs, PCIe switches, NVLink
+//! adjacency), materialises them as [`simcore::FlowNet`] link graphs, and
+//! answers the planner's topology queries (which GPUs can cooperate on a
+//! parallel transmission).
+
+pub mod device;
+pub mod machine;
+pub mod netmap;
+pub mod presets;
+pub mod select;
+
+pub use device::{GpuSpec, LinkSpec};
+pub use machine::{Machine, MachineBuilder, TopologyError};
+pub use netmap::NetMap;
+pub use select::pt_group;

@@ -1,0 +1,275 @@
+//! Machine (server) topology description.
+//!
+//! A machine is a host plus a set of GPUs grouped under PCIe switches.
+//! Every GPU has a private downstream PCIe link; GPUs under the same switch
+//! share that switch's host uplink. NVLink adjacency is an undirected graph
+//! over GPUs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::device::{GpuSpec, NvLinkSpec};
+
+/// Errors from building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// The machine has no GPUs.
+    NoGpus,
+    /// A GPU index was out of range.
+    UnknownGpu(usize),
+    /// A switch index referenced by a GPU does not exist.
+    UnknownSwitch(usize),
+    /// NVLink adjacency references a GPU out of range.
+    BadNvLink(usize, usize),
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::NoGpus => write!(f, "machine has no GPUs"),
+            TopologyError::UnknownGpu(g) => write!(f, "unknown GPU index {g}"),
+            TopologyError::UnknownSwitch(s) => write!(f, "unknown PCIe switch index {s}"),
+            TopologyError::BadNvLink(a, b) => write!(f, "NVLink names unknown GPU pair ({a},{b})"),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A GPU slot in a machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GpuSlot {
+    /// Device specification.
+    pub spec: GpuSpec,
+    /// Index of the PCIe switch this GPU hangs off.
+    pub switch: usize,
+}
+
+/// A complete machine description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    /// Human-readable name (e.g. `"aws-p3.8xlarge"`).
+    pub name: String,
+    /// GPU slots, indexed by GPU id.
+    pub gpus: Vec<GpuSlot>,
+    /// Number of PCIe switches. Switch uplink bandwidth equals a single
+    /// x16 link (PCIe switches multiplex, they do not add bandwidth).
+    pub switch_count: usize,
+    /// NVLink pairs (undirected) and the link spec, if the machine has
+    /// NVLink at all.
+    pub nvlink: Option<NvLinkSpec>,
+    /// Undirected NVLink adjacency as a list of GPU index pairs `(a, b)`
+    /// with `a < b`.
+    pub nvlink_pairs: Vec<(usize, usize)>,
+}
+
+impl Machine {
+    /// Number of GPUs.
+    pub fn gpu_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The device spec of GPU `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn gpu(&self, g: usize) -> &GpuSpec {
+        &self.gpus[g].spec
+    }
+
+    /// The PCIe switch GPU `g` hangs off.
+    pub fn switch_of(&self, g: usize) -> usize {
+        self.gpus[g].switch
+    }
+
+    /// Whether two distinct GPUs are directly connected via NVLink.
+    pub fn nvlinked(&self, a: usize, b: usize) -> bool {
+        if a == b {
+            return false;
+        }
+        let key = (a.min(b), a.max(b));
+        self.nvlink.is_some() && self.nvlink_pairs.contains(&key)
+    }
+
+    /// GPUs under a given switch.
+    pub fn gpus_on_switch(&self, sw: usize) -> Vec<usize> {
+        (0..self.gpus.len())
+            .filter(|&g| self.gpus[g].switch == sw)
+            .collect()
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        if self.gpus.is_empty() {
+            return Err(TopologyError::NoGpus);
+        }
+        for (i, slot) in self.gpus.iter().enumerate() {
+            if slot.switch >= self.switch_count {
+                return Err(TopologyError::UnknownSwitch(slot.switch));
+            }
+            let _ = i;
+        }
+        for &(a, b) in &self.nvlink_pairs {
+            if a >= self.gpus.len() || b >= self.gpus.len() || a >= b {
+                return Err(TopologyError::BadNvLink(a, b));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`Machine`].
+///
+/// # Examples
+///
+/// ```
+/// use gpu_topology::machine::MachineBuilder;
+/// use gpu_topology::device::{v100, NvLinkSpec};
+///
+/// let m = MachineBuilder::new("two-gpu")
+///     .switches(2)
+///     .gpu(v100(), 0)
+///     .gpu(v100(), 1)
+///     .nvlink(NvLinkSpec::v100_nvlink2())
+///     .nvlink_pair(0, 1)
+///     .build()
+///     .unwrap();
+/// assert_eq!(m.gpu_count(), 2);
+/// assert!(m.nvlinked(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MachineBuilder {
+    name: String,
+    gpus: Vec<GpuSlot>,
+    switch_count: usize,
+    nvlink: Option<NvLinkSpec>,
+    nvlink_pairs: Vec<(usize, usize)>,
+}
+
+impl MachineBuilder {
+    /// Starts a builder with the given machine name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            gpus: Vec::new(),
+            switch_count: 0,
+            nvlink: None,
+            nvlink_pairs: Vec::new(),
+        }
+    }
+
+    /// Declares the number of PCIe switches.
+    pub fn switches(mut self, n: usize) -> Self {
+        self.switch_count = n;
+        self
+    }
+
+    /// Adds a GPU under switch `sw`.
+    pub fn gpu(mut self, spec: GpuSpec, sw: usize) -> Self {
+        self.gpus.push(GpuSlot { spec, switch: sw });
+        self
+    }
+
+    /// Enables NVLink with the given spec.
+    pub fn nvlink(mut self, spec: NvLinkSpec) -> Self {
+        self.nvlink = Some(spec);
+        self
+    }
+
+    /// Connects GPUs `a` and `b` with NVLink.
+    pub fn nvlink_pair(mut self, a: usize, b: usize) -> Self {
+        self.nvlink_pairs.push((a.min(b), a.max(b)));
+        self
+    }
+
+    /// Connects every GPU pair with NVLink (NVSwitch-style all-to-all).
+    pub fn nvlink_all_to_all(mut self) -> Self {
+        let n = self.gpus.len();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                self.nvlink_pairs.push((a, b));
+            }
+        }
+        self
+    }
+
+    /// Validates and builds the machine.
+    pub fn build(self) -> Result<Machine, TopologyError> {
+        let m = Machine {
+            name: self.name,
+            gpus: self.gpus,
+            switch_count: self.switch_count,
+            nvlink: self.nvlink,
+            nvlink_pairs: self.nvlink_pairs,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{v100, NvLinkSpec};
+
+    fn two_switch_four_gpu() -> Machine {
+        MachineBuilder::new("t")
+            .switches(2)
+            .gpu(v100(), 0)
+            .gpu(v100(), 0)
+            .gpu(v100(), 1)
+            .gpu(v100(), 1)
+            .nvlink(NvLinkSpec::v100_nvlink2())
+            .nvlink_all_to_all()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn switch_membership() {
+        let m = two_switch_four_gpu();
+        assert_eq!(m.gpus_on_switch(0), vec![0, 1]);
+        assert_eq!(m.gpus_on_switch(1), vec![2, 3]);
+        assert_eq!(m.switch_of(3), 1);
+    }
+
+    #[test]
+    fn nvlink_adjacency_is_symmetric() {
+        let m = two_switch_four_gpu();
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(m.nvlinked(a, b), m.nvlinked(b, a));
+                if a == b {
+                    assert!(!m.nvlinked(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_switch() {
+        let err = MachineBuilder::new("bad")
+            .switches(1)
+            .gpu(v100(), 3)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, TopologyError::UnknownSwitch(3));
+    }
+
+    #[test]
+    fn validation_rejects_empty() {
+        let err = MachineBuilder::new("bad").build().unwrap_err();
+        assert_eq!(err, TopologyError::NoGpus);
+    }
+
+    #[test]
+    fn no_nvlink_means_not_linked() {
+        let m = MachineBuilder::new("no-nvl")
+            .switches(1)
+            .gpu(v100(), 0)
+            .gpu(v100(), 0)
+            .build()
+            .unwrap();
+        assert!(!m.nvlinked(0, 1));
+    }
+}

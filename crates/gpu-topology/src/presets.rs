@@ -1,0 +1,121 @@
+//! Machine presets used in the paper's evaluation.
+
+use crate::device::{a5000, v100, NvLinkSpec};
+use crate::machine::{Machine, MachineBuilder};
+
+/// AWS p3.8xlarge: 4× V100-16GB, two PCIe 3.0 switches with two GPUs each,
+/// NVLink all-to-all (the instance exposes an NVSwitch-like full mesh).
+///
+/// This is the machine of the paper's main evaluation (§5.1).
+pub fn p3_8xlarge() -> Machine {
+    MachineBuilder::new("aws-p3.8xlarge")
+        .switches(2)
+        .gpu(v100(), 0)
+        .gpu(v100(), 0)
+        .gpu(v100(), 1)
+        .gpu(v100(), 1)
+        .nvlink(NvLinkSpec::v100_nvlink2())
+        .nvlink_all_to_all()
+        .build()
+        .expect("preset is valid")
+}
+
+/// A single V100 behind its own switch — the single-GPU configuration used
+/// for Figure 2/5 and the DeepPlan (DHA) rows of Figure 11.
+pub fn single_v100() -> Machine {
+    MachineBuilder::new("single-v100")
+        .switches(1)
+        .gpu(v100(), 0)
+        .build()
+        .expect("preset is valid")
+}
+
+/// The PCIe 4.0 reproduction system of Figure 16: 2× RTX A5000 on distinct
+/// switches, joined by an NVLink bridge.
+pub fn a5000_dual() -> Machine {
+    MachineBuilder::new("a5000-dual-pcie4")
+        .switches(2)
+        .gpu(a5000(), 0)
+        .gpu(a5000(), 1)
+        .nvlink(NvLinkSpec::a5000_bridge())
+        .nvlink_pair(0, 1)
+        .build()
+        .expect("preset is valid")
+}
+
+/// A DGX-1-like box: 8× V100 over four PCIe switches (two GPUs per
+/// switch), hybrid-cube-mesh NVLink. Used by topology ablations.
+pub fn dgx1_like() -> Machine {
+    let mut b = MachineBuilder::new("dgx1-like")
+        .switches(4)
+        .gpu(v100(), 0)
+        .gpu(v100(), 0)
+        .gpu(v100(), 1)
+        .gpu(v100(), 1)
+        .gpu(v100(), 2)
+        .gpu(v100(), 2)
+        .gpu(v100(), 3)
+        .gpu(v100(), 3)
+        .nvlink(NvLinkSpec::v100_nvlink2());
+    // Hybrid cube mesh (DGX-1 V100 wiring).
+    for (a, bb) in [
+        (0, 1),
+        (0, 2),
+        (0, 3),
+        (0, 4),
+        (1, 2),
+        (1, 3),
+        (1, 5),
+        (2, 3),
+        (2, 6),
+        (3, 7),
+        (4, 5),
+        (4, 6),
+        (4, 7),
+        (5, 6),
+        (5, 7),
+        (6, 7),
+    ] {
+        b = b.nvlink_pair(a, bb);
+    }
+    b.build().expect("preset is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p3_8xlarge_shape() {
+        let m = p3_8xlarge();
+        assert_eq!(m.gpu_count(), 4);
+        assert_eq!(m.switch_count, 2);
+        assert_eq!(m.gpus_on_switch(0).len(), 2);
+        assert!(m.nvlinked(0, 3));
+    }
+
+    #[test]
+    fn single_v100_has_no_nvlink() {
+        let m = single_v100();
+        assert_eq!(m.gpu_count(), 1);
+        assert!(m.nvlink.is_none());
+    }
+
+    #[test]
+    fn a5000_dual_is_cross_switch_nvlinked() {
+        let m = a5000_dual();
+        assert_eq!(m.gpu_count(), 2);
+        assert_ne!(m.switch_of(0), m.switch_of(1));
+        assert!(m.nvlinked(0, 1));
+    }
+
+    #[test]
+    fn dgx1_like_validates() {
+        let m = dgx1_like();
+        assert_eq!(m.gpu_count(), 8);
+        m.validate().unwrap();
+        // Cube-mesh: 0 and 7 are not directly linked.
+        assert!(!m.nvlinked(0, 7));
+        assert!(m.nvlinked(0, 4));
+    }
+}

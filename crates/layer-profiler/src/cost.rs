@@ -1,0 +1,58 @@
+//! Profiling-cost accounting (paper Table 5).
+
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDur;
+
+/// Simulated wall-clock time spent by the profiling pre-run, split as the
+/// paper's Table 5 reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProfilingCost {
+    /// Time executing layers via direct-host-access.
+    pub dha: SimDur,
+    /// Time executing layers with weights in device memory.
+    pub inmem: SimDur,
+    /// Time loading layers host→GPU.
+    pub layer_load: SimDur,
+}
+
+impl ProfilingCost {
+    /// Total profiling time (the Table 5 "Total" column).
+    pub fn total(&self) -> SimDur {
+        self.dha + self.inmem + self.layer_load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_sums_components() {
+        let c = ProfilingCost {
+            dha: SimDur::from_millis(5),
+            inmem: SimDur::from_millis(3),
+            layer_load: SimDur::from_millis(2),
+        };
+        assert_eq!(c.total(), SimDur::from_millis(10));
+    }
+
+    #[test]
+    fn table5_ordering_holds_for_real_models() {
+        // In Table 5 the DHA column dominates In-memory for every model.
+        use crate::profiler::Profiler;
+        use dnn_models::zoo::{build, ModelId};
+        use gpu_topology::device::v100;
+
+        for id in [ModelId::ResNet50, ModelId::BertBase, ModelId::RobertaLarge] {
+            let model = build(id);
+            let (_, cost) = Profiler::new(v100()).profile(&model, 1);
+            assert!(
+                cost.dha > cost.inmem,
+                "{id:?}: dha {:?} <= inmem {:?}",
+                cost.dha,
+                cost.inmem
+            );
+            assert!(cost.total() > cost.layer_load);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Layer profiling (paper §4.3.1, Figure 10 step ①).
+//!
+//! DeepPlan's planner consumes a per-layer performance table produced by a
+//! one-time *pre-run* of the model on the target machine: execution time
+//! with weights in device memory (`Exe(InMem)`), execution time via
+//! direct-host-access (`Exe(DHA)`), and host→GPU load time. On real
+//! hardware this is measured; here the measurements come from the analytic
+//! cost model with optional log-normal jitter and multi-iteration
+//! averaging, mimicking how the real profiler stabilises its numbers.
+//!
+//! The module also accounts the simulated wall-clock cost of profiling
+//! itself (Table 5) and reproduces the PCIe-transaction comparison
+//! (Table 1).
+
+pub mod cost;
+pub mod pcie;
+pub mod profile;
+pub mod profiler;
+
+pub use cost::ProfilingCost;
+pub use profile::{LayerProfile, ModelProfile};
+pub use profiler::Profiler;

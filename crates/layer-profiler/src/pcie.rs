@@ -1,0 +1,154 @@
+//! PCIe transaction comparison (paper Table 1).
+//!
+//! Reproduces the PCM-counter experiment of §3.1: for a set of probe
+//! layers, the number of 64 B PCIe read transactions issued when loading
+//! the layer versus executing it with direct-host-access.
+
+use dnn_models::costmodel::CostModel;
+use dnn_models::layer::{Layer, LayerKind};
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PcieRow {
+    /// Probe label, e.g. `"(a) Embedding / Large (89.42MB)"`.
+    pub label: String,
+    /// Layer size in MiB.
+    pub size_mib: f64,
+    /// Transactions when loading the layer.
+    pub txn_load: u64,
+    /// Transactions under direct-host-access.
+    pub txn_dha: u64,
+}
+
+/// The probe layers of Figure 5 / Table 1 (sizes chosen to match the
+/// paper's MiB labels; shapes drawn from BERT-Base and ResNet-50).
+pub fn probe_layers() -> Vec<(String, Layer)> {
+    vec![
+        (
+            "(a) Embedding / Medium (1.50MB)".into(),
+            Layer::new(
+                "emb.pos",
+                LayerKind::Embedding {
+                    rows: 512,
+                    dim: 768,
+                    lookups_per_item: 384,
+                },
+            ),
+        ),
+        (
+            "(a) Embedding / Large (89.42MB)".into(),
+            Layer::new(
+                "emb.word",
+                LayerKind::Embedding {
+                    rows: 30_522,
+                    dim: 768,
+                    lookups_per_item: 384,
+                },
+            ),
+        ),
+        (
+            "(b) Convolutional / Medium (2.25MB)".into(),
+            Layer::new(
+                "conv.med",
+                LayerKind::Conv2d {
+                    c_in: 256,
+                    c_out: 256,
+                    kernel: 3,
+                    out_h: 14,
+                    out_w: 14,
+                },
+            ),
+        ),
+        (
+            "(b) Convolutional / Large (9.0MB)".into(),
+            Layer::new(
+                "conv.large",
+                LayerKind::Conv2d {
+                    c_in: 512,
+                    c_out: 512,
+                    kernel: 3,
+                    out_h: 7,
+                    out_w: 7,
+                },
+            ),
+        ),
+        (
+            "(c) Fully connected / Small (2.25MB)".into(),
+            Layer::new(
+                "fc.small",
+                LayerKind::Linear {
+                    d_in: 768,
+                    d_out: 768,
+                    tokens_per_item: 384,
+                },
+            ),
+        ),
+        (
+            "(c) Fully connected / Large (9.01MB)".into(),
+            Layer::new(
+                "fc.large",
+                LayerKind::Linear {
+                    d_in: 768,
+                    d_out: 3_072,
+                    tokens_per_item: 384,
+                },
+            ),
+        ),
+    ]
+}
+
+/// Computes the Table 1 reproduction rows for a device.
+pub fn table1(cost: &CostModel, batch: u32) -> Vec<PcieRow> {
+    probe_layers()
+        .into_iter()
+        .map(|(label, layer)| PcieRow {
+            label,
+            size_mib: layer.param_bytes() as f64 / (1024.0 * 1024.0),
+            txn_load: cost.pcie_txn_load(&layer),
+            txn_dha: cost.pcie_txn_dha(&layer, batch),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_topology::device::v100;
+
+    #[test]
+    fn table1_directions_match_paper() {
+        let rows = table1(&CostModel::new(v100()), 1);
+        assert_eq!(rows.len(), 6);
+        // Embeddings: DHA way below load for the large table.
+        let emb_large = &rows[1];
+        assert!(emb_large.txn_dha * 10 < emb_large.txn_load);
+        // Conv and FC: DHA above load.
+        for row in &rows[2..] {
+            assert!(row.txn_dha > row.txn_load, "{}", row.label);
+        }
+        // FC ratio ≈ 12 at seq 384.
+        let fc = &rows[4];
+        let ratio = fc.txn_dha as f64 / fc.txn_load as f64;
+        assert!((ratio - 12.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn probe_sizes_match_labels() {
+        for (label, layer) in probe_layers() {
+            let mib = layer.param_bytes() as f64 / (1024.0 * 1024.0);
+            // Extract the number in parentheses from the label.
+            let want: f64 = label
+                .split('(')
+                .next_back()
+                .unwrap()
+                .trim_end_matches("MB)")
+                .parse()
+                .unwrap();
+            assert!(
+                (mib - want).abs() / want < 0.02,
+                "{label}: computed {mib:.2} MiB"
+            );
+        }
+    }
+}

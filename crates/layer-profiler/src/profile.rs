@@ -1,0 +1,138 @@
+//! Profile table types (the paper's Figure 10 performance table).
+
+use serde::{Deserialize, Serialize};
+use simcore::time::SimDur;
+
+/// Measured (simulated) performance of one layer at one batch size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name (unique within the model).
+    pub name: String,
+    /// Class label (`"Emb"`, `"Conv"`, `"FC"`, ...).
+    pub class: String,
+    /// Parameter bytes.
+    pub param_bytes: u64,
+    /// Host→GPU load time (uncontended).
+    pub load: SimDur,
+    /// Execution time with weights in device memory.
+    pub exec_inmem: SimDur,
+    /// Execution time via direct-host-access (uncontended link).
+    pub exec_dha: SimDur,
+    /// Uncontended PCIe wire time of the DHA reads (zero for layers with
+    /// no DHA traffic).
+    pub dha_wire: SimDur,
+    /// PCIe wire bytes a DHA execution occupies.
+    pub dha_wire_bytes: f64,
+    /// PCIe read transactions when loading the layer.
+    pub pcie_txn_load: u64,
+    /// PCIe read transactions under DHA.
+    pub pcie_txn_dha: u64,
+}
+
+impl LayerProfile {
+    /// `PerfDiff` of §4.1: `Exe(DHA) − Exe(InMem)`.
+    ///
+    /// Negative values mean DHA is outright faster (large embeddings).
+    pub fn perf_diff(&self) -> f64 {
+        self.exec_dha.as_secs_f64() - self.exec_inmem.as_secs_f64()
+    }
+
+    /// DHA execution time while the load stream still occupies the PCIe
+    /// link: the reads run at half bandwidth (max-min fair share), so one
+    /// extra wire time is added. This is what the planner prices a DHA
+    /// flip at, because flips only matter while loads are in flight.
+    pub fn exec_dha_contended(&self) -> SimDur {
+        self.exec_dha + self.dha_wire
+    }
+
+    /// Contended `PerfDiff` (what a flip costs during the load phase).
+    pub fn perf_diff_contended(&self) -> f64 {
+        self.exec_dha_contended().as_secs_f64() - self.exec_inmem.as_secs_f64()
+    }
+
+    /// Whether this layer even has a placement decision to make.
+    pub fn has_params(&self) -> bool {
+        self.param_bytes > 0
+    }
+}
+
+/// The full profile of a model on a device at a batch size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProfile {
+    /// Model display name.
+    pub model: String,
+    /// Device name the profile was taken on.
+    pub device: String,
+    /// Batch size of the pre-run.
+    pub batch: u32,
+    /// Per-layer rows in execution order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl ModelProfile {
+    /// Total parameter bytes.
+    pub fn param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Sum of in-memory execution times (the warm-inference estimate).
+    pub fn exec_inmem_total(&self) -> SimDur {
+        self.layers.iter().map(|l| l.exec_inmem).sum()
+    }
+
+    /// Sum of uncontended load times (the serial cold-load estimate).
+    pub fn load_total(&self) -> SimDur {
+        self.layers.iter().map(|l| l.load).sum()
+    }
+
+    /// Serialises to pretty JSON (plans and profiles are artifacts).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("profile serialises")
+    }
+
+    /// Parses a profile back from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(name: &str, inmem_us: f64, dha_us: f64) -> LayerProfile {
+        LayerProfile {
+            name: name.into(),
+            class: "FC".into(),
+            param_bytes: 1000,
+            load: SimDur::from_micros_f64(10.0),
+            exec_inmem: SimDur::from_micros_f64(inmem_us),
+            exec_dha: SimDur::from_micros_f64(dha_us),
+            dha_wire: SimDur::ZERO,
+            dha_wire_bytes: 0.0,
+            pcie_txn_load: 16,
+            pcie_txn_dha: 160,
+        }
+    }
+
+    #[test]
+    fn perf_diff_signs() {
+        assert!(row("a", 10.0, 30.0).perf_diff() > 0.0);
+        assert!(row("b", 30.0, 10.0).perf_diff() < 0.0);
+    }
+
+    #[test]
+    fn totals_and_json_roundtrip() {
+        let p = ModelProfile {
+            model: "toy".into(),
+            device: "V100".into(),
+            batch: 1,
+            layers: vec![row("a", 10.0, 30.0), row("b", 5.0, 5.0)],
+        };
+        assert_eq!(p.param_bytes(), 2000);
+        assert_eq!(p.exec_inmem_total(), SimDur::from_micros(15));
+        assert_eq!(p.load_total(), SimDur::from_micros(20));
+        let back = ModelProfile::from_json(&p.to_json()).unwrap();
+        assert_eq!(back.layers, p.layers);
+    }
+}

@@ -1,0 +1,143 @@
+//! Capacity planning: the largest deployment a server sustains within an
+//! SLO — the operational question behind Figure 13 ("how many instances
+//! can I consolidate before the tail blows up?").
+
+use simcore::time::SimTime;
+
+use crate::catalog::DeployedModel;
+use crate::config::ServerConfig;
+use crate::server::run_server;
+use crate::workload::poisson;
+
+/// Parameters of a capacity search.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityQuery {
+    /// Aggregate request rate the deployment must absorb.
+    pub rate: f64,
+    /// Goodput target (fraction of requests within the config's SLO).
+    pub goodput_target: f64,
+    /// Measured requests per probe.
+    pub requests: usize,
+    /// Upper bound on instances to consider.
+    pub max_instances: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for CapacityQuery {
+    fn default() -> Self {
+        CapacityQuery {
+            rate: 100.0,
+            goodput_target: 0.99,
+            requests: 1_000,
+            max_instances: 400,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Goodput of one probe deployment of `n` identical instances.
+pub fn probe_goodput(cfg: &ServerConfig, kind: &DeployedModel, n: usize, q: &CapacityQuery) -> f64 {
+    let warmup = q.requests / 4;
+    let trace = poisson::generate(q.rate, n, warmup + q.requests, SimTime::ZERO, q.seed);
+    let measure_from = trace[warmup.saturating_sub(1)].at;
+    let report = run_server(
+        cfg.clone(),
+        vec![kind.clone()],
+        &vec![0usize; n],
+        trace,
+        measure_from,
+    );
+    report.goodput()
+}
+
+/// Binary-searches the largest instance count whose goodput meets the
+/// target.
+///
+/// Small deployments concentrate traffic on few GPUs (residency
+/// affinity), so feasibility is probed at a spread-out starting size
+/// (a few instances per GPU); 0 is returned when even that misses the
+/// target (the rate is simply too high for the machine).
+pub fn max_sustainable_instances(
+    cfg: &ServerConfig,
+    kind: &DeployedModel,
+    q: &CapacityQuery,
+) -> usize {
+    let start = (cfg.machine.gpu_count() * 5).clamp(1, q.max_instances.max(1));
+    if probe_goodput(cfg, kind, start, q) < q.goodput_target {
+        return 0;
+    }
+    let (mut lo, mut hi) = (start, q.max_instances.max(1));
+    if probe_goodput(cfg, kind, hi, q) >= q.goodput_target {
+        return hi;
+    }
+    // Invariant: goodput(lo) >= target > goodput(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if probe_goodput(cfg, kind, mid, q) >= q.goodput_target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo::{build, ModelId};
+    use exec_planner::generate::PlanMode;
+    use gpu_topology::presets::p3_8xlarge;
+
+    fn setup(mode: PlanMode) -> (ServerConfig, DeployedModel) {
+        let machine = p3_8xlarge();
+        let cfg = ServerConfig::paper_default(machine.clone(), mode);
+        let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, mode, 2);
+        (cfg, kind)
+    }
+
+    fn query() -> CapacityQuery {
+        CapacityQuery {
+            requests: 600,
+            max_instances: 260,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deepplan_sustains_more_instances_than_pipeswitch() {
+        // The Figure 13 conclusion as a single number per mode.
+        let q = query();
+        let (cfg_ps, kind_ps) = setup(PlanMode::PipeSwitch);
+        let (cfg_dp, kind_dp) = setup(PlanMode::PtDha);
+        let ps = max_sustainable_instances(&cfg_ps, &kind_ps, &q);
+        let dp = max_sustainable_instances(&cfg_dp, &kind_dp, &q);
+        assert!(dp > ps, "PT+DHA {dp} !> PipeSwitch {ps}");
+        // Both cross the memory capacity of ~100 PipeSwitch instances.
+        assert!(ps >= 80, "PipeSwitch capacity {ps} implausibly low");
+    }
+
+    #[test]
+    fn impossible_rate_returns_zero() {
+        let (cfg, kind) = setup(PlanMode::PipeSwitch);
+        let q = CapacityQuery {
+            rate: 100_000.0, // Four GPUs cannot do 100k warm BERTs/sec.
+            requests: 200,
+            ..query()
+        };
+        assert_eq!(max_sustainable_instances(&cfg, &kind, &q), 0);
+    }
+
+    #[test]
+    fn generous_target_saturates_at_max() {
+        let (cfg, kind) = setup(PlanMode::PtDha);
+        let q = CapacityQuery {
+            goodput_target: 0.0,
+            requests: 200,
+            max_instances: 50,
+            ..query()
+        };
+        assert_eq!(max_sustainable_instances(&cfg, &kind, &q), 50);
+    }
+}

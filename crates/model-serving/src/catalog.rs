@@ -1,0 +1,59 @@
+//! Deployed model kinds: runtime table + cold-start plan, precomputed.
+
+use std::sync::Arc;
+
+use dnn_models::model::Model;
+use exec_engine::runtime::ModelRuntime;
+use exec_planner::generate::{generate, PlanMode};
+use exec_planner::plan::ExecutionPlan;
+use gpu_topology::machine::Machine;
+use layer_profiler::profiler::Profiler;
+
+/// A model as deployed on the server: one entry per *kind*; many
+/// instances may share it.
+#[derive(Clone)]
+pub struct DeployedModel {
+    /// Engine runtime table (batch 1 — the serving path is unbatched, as
+    /// in the paper's latency-sensitive setting).
+    pub rt: Arc<ModelRuntime>,
+    /// Cold-start plan under the server's mode.
+    pub plan: Arc<ExecutionPlan>,
+    /// GPU bytes one resident instance occupies.
+    pub resident_bytes: u64,
+}
+
+impl DeployedModel {
+    /// Profiles and plans `model` for `machine` under `mode`.
+    pub fn prepare(model: &Model, machine: &Machine, mode: PlanMode, max_pt_gpus: usize) -> Self {
+        let gpu = machine.gpu(0).clone();
+        let (profile, _) = Profiler::exact(gpu.clone()).profile(model, 1);
+        let plan = Arc::new(generate(&profile, machine, mode, max_pt_gpus));
+        let rt = ModelRuntime::new(model, &gpu, 1);
+        let resident_bytes = plan.resident_bytes(&rt.param_bytes_vec());
+        DeployedModel {
+            rt,
+            plan,
+            resident_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnn_models::zoo::{build, ModelId};
+    use gpu_topology::presets::p3_8xlarge;
+
+    #[test]
+    fn dha_instances_occupy_less_gpu_memory() {
+        // Paper §5.3.1: DeepPlan keeps embeddings host-side, so it fits
+        // ~24 more instances in the same GPU memory.
+        let m = p3_8xlarge();
+        let model = build(ModelId::BertBase);
+        let ps = DeployedModel::prepare(&model, &m, PlanMode::PipeSwitch, 2);
+        let dha = DeployedModel::prepare(&model, &m, PlanMode::Dha, 2);
+        assert!(dha.resident_bytes < ps.resident_bytes);
+        let saved_mib = (ps.resident_bytes - dha.resident_bytes) as f64 / (1 << 20) as f64;
+        assert!(saved_mib > 80.0, "saved only {saved_mib:.1} MiB");
+    }
+}

@@ -1,0 +1,74 @@
+//! Server configuration.
+
+use exec_planner::generate::PlanMode;
+use gpu_topology::machine::Machine;
+use simcore::time::SimDur;
+
+use crate::memory::EvictionPolicy;
+
+/// Configuration of one serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Machine the server runs on.
+    pub machine: Machine,
+    /// Cold-start execution mode (PipeSwitch vs DeepPlan variants).
+    pub mode: PlanMode,
+    /// Target SLO for goodput accounting.
+    pub slo: SimDur,
+    /// Per-GPU bytes withheld from the model cache (CUDA context,
+    /// activation workspace, PT staging area). Calibrated so a V100 holds
+    /// ~25 BERT-Base instances, matching Figure 13's PipeSwitch capacity
+    /// of 100 instances on four GPUs.
+    pub reserve_bytes: u64,
+    /// Maximum GPUs per parallel transmission (paper: 2 on p3.8xlarge).
+    pub max_pt_gpus: usize,
+    /// Pinned host memory available for the model store (a p3.8xlarge has
+    /// 244 GB of host memory).
+    pub host_mem_bytes: u64,
+    /// Cache-eviction policy (the paper uses LRU).
+    pub eviction: EvictionPolicy,
+    /// Width of the reporting time buckets (Figure 15 uses one minute).
+    pub bucket: SimDur,
+}
+
+impl ServerConfig {
+    /// Paper-default configuration for a machine and mode: 100 ms SLO,
+    /// 5.5 GiB per-GPU reserve, PT capped at 2 GPUs, 1-minute buckets.
+    pub fn paper_default(machine: Machine, mode: PlanMode) -> Self {
+        ServerConfig {
+            machine,
+            mode,
+            slo: SimDur::from_millis(100),
+            reserve_bytes: 5_632 << 20,
+            max_pt_gpus: 2,
+            host_mem_bytes: 244 << 30,
+            eviction: EvictionPolicy::Lru,
+            bucket: SimDur::from_secs(60),
+        }
+    }
+
+    /// Usable model-cache bytes on GPU `g`.
+    pub fn cache_bytes(&self, g: usize) -> u64 {
+        self.machine
+            .gpu(g)
+            .mem_bytes
+            .saturating_sub(self.reserve_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_topology::presets::p3_8xlarge;
+
+    #[test]
+    fn v100_cache_holds_about_25_bert_base() {
+        let cfg = ServerConfig::paper_default(p3_8xlarge(), PlanMode::PipeSwitch);
+        let bert_bytes: u64 = 418 << 20;
+        let per_gpu = cfg.cache_bytes(0) / bert_bytes;
+        assert!(
+            (24..=27).contains(&per_gpu),
+            "{per_gpu} BERT-Base per GPU, expected ~25"
+        );
+    }
+}

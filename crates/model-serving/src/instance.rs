@@ -1,0 +1,72 @@
+//! Model instances (one per tenant/function).
+
+use simcore::time::SimTime;
+
+/// Residency state of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Residency {
+    /// Weights only in host memory.
+    NotResident,
+    /// Cold start in flight to the given GPU.
+    Loading(usize),
+    /// Weights resident on the given GPU.
+    Resident(usize),
+}
+
+/// One deployed instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Index into the server's kind table.
+    pub kind: usize,
+    /// Residency state.
+    pub residency: Residency,
+    /// Last time a request for this instance was dispatched (LRU key).
+    pub last_used: SimTime,
+    /// Number of in-flight inferences on this instance (evictions must
+    /// not touch busy instances).
+    pub active: u32,
+}
+
+impl Instance {
+    /// Creates a fresh, non-resident instance of `kind`.
+    pub fn new(kind: usize) -> Self {
+        Instance {
+            kind,
+            residency: Residency::NotResident,
+            last_used: SimTime::ZERO,
+            active: 0,
+        }
+    }
+
+    /// The GPU this instance lives on (loading or resident), if any.
+    pub fn gpu(&self) -> Option<usize> {
+        match self.residency {
+            Residency::NotResident => None,
+            Residency::Loading(g) | Residency::Resident(g) => Some(g),
+        }
+    }
+
+    /// Whether the instance can be evicted right now.
+    pub fn evictable(&self) -> bool {
+        self.active == 0 && matches!(self.residency, Residency::Resident(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_flags() {
+        let mut i = Instance::new(3);
+        assert_eq!(i.gpu(), None);
+        assert!(!i.evictable());
+        i.residency = Residency::Loading(2);
+        assert_eq!(i.gpu(), Some(2));
+        assert!(!i.evictable());
+        i.residency = Residency::Resident(2);
+        assert!(i.evictable());
+        i.active = 1;
+        assert!(!i.evictable());
+    }
+}

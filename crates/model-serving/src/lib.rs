@@ -1,0 +1,28 @@
+//! Multi-GPU DL inference server simulation (paper §5.3).
+//!
+//! Reproduces the serving-side evaluation: a Clockwork-style server where
+//! each GPU runs one inference at a time, models are provisioned
+//! on demand, and GPU memory is managed with LRU eviction once the number
+//! of deployed instances exceeds what fits. Requests for resident
+//! instances run warm; requests for evicted/never-loaded instances pay a
+//! cold start executed under the configured plan mode (PipeSwitch,
+//! DeepPlan DHA, or DeepPlan PT+DHA).
+//!
+//! Workloads: open-loop Poisson (Figures 13/14) and a synthetic
+//! Microsoft-Azure-Functions-like trace (Figure 15) with heavy sustained
+//! functions, rate fluctuation and spikes.
+
+pub mod capacity;
+pub mod catalog;
+pub mod config;
+pub mod instance;
+pub mod memory;
+pub mod metrics;
+pub mod server;
+pub mod workload;
+
+pub use catalog::DeployedModel;
+pub use config::ServerConfig;
+pub use metrics::ServingReport;
+pub use server::run_server;
+pub use workload::{maf, poisson, Request};

@@ -1,0 +1,100 @@
+//! Serving metrics: latency percentiles, goodput, cold-start accounting.
+
+use simcore::stats::{Samples, TimeSeries};
+use simcore::time::{SimDur, SimTime};
+
+/// Aggregate report of one serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// End-to-end latencies (ms), measurement window only.
+    pub latencies: Samples,
+    /// Latencies bucketed over time (ms), for Figure 15-style series.
+    pub over_time: TimeSeries,
+    /// Completed requests in the measurement window.
+    pub completed: u64,
+    /// Cold starts in the measurement window.
+    pub cold_starts: u64,
+    /// Evictions in the measurement window.
+    pub evictions: u64,
+    /// Queue-wait component of latency (ms), measurement window only.
+    pub queue_wait: Samples,
+    /// Pinned host memory the deployment occupies (model store bytes).
+    pub host_pinned_bytes: u64,
+    /// SLO used for goodput.
+    pub slo: SimDur,
+}
+
+impl ServingReport {
+    /// Creates an empty report.
+    pub fn new(slo: SimDur, bucket: SimDur) -> Self {
+        ServingReport {
+            latencies: Samples::new(),
+            over_time: TimeSeries::new(bucket),
+            completed: 0,
+            cold_starts: 0,
+            evictions: 0,
+            queue_wait: Samples::new(),
+            host_pinned_bytes: 0,
+            slo,
+        }
+    }
+
+    /// Records one completed request.
+    pub fn record(&mut self, finished: SimTime, latency: SimDur, cold: bool) {
+        let ms = latency.as_ms_f64();
+        self.latencies.push(ms);
+        self.over_time.record(finished, ms);
+        self.completed += 1;
+        if cold {
+            self.cold_starts += 1;
+        }
+    }
+
+    /// 99th-percentile latency in ms.
+    pub fn p99_ms(&mut self) -> f64 {
+        self.latencies.p99()
+    }
+
+    /// Goodput: fraction of requests within the SLO.
+    pub fn goodput(&self) -> f64 {
+        self.latencies.fraction_at_most(self.slo.as_ms_f64())
+    }
+
+    /// 99th-percentile queue wait in ms.
+    pub fn p99_queue_wait_ms(&mut self) -> f64 {
+        self.queue_wait.p99()
+    }
+
+    /// Cold-start rate over completed requests.
+    pub fn cold_rate(&self) -> f64 {
+        if self.completed == 0 {
+            return 0.0;
+        }
+        self.cold_starts as f64 / self.completed as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_rates() {
+        let mut r = ServingReport::new(SimDur::from_millis(100), SimDur::from_secs(60));
+        r.record(SimTime::from_nanos(1), SimDur::from_millis(10), false);
+        r.record(SimTime::from_nanos(2), SimDur::from_millis(150), true);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.cold_starts, 1);
+        assert_eq!(r.goodput(), 0.5);
+        assert_eq!(r.cold_rate(), 0.5);
+        assert_eq!(r.p99_ms(), 150.0);
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let mut r = ServingReport::new(SimDur::from_millis(100), SimDur::from_secs(60));
+        assert_eq!(r.goodput(), 1.0);
+        assert_eq!(r.cold_rate(), 0.0);
+        assert_eq!(r.p99_ms(), 0.0);
+    }
+}

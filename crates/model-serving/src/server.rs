@@ -1,0 +1,387 @@
+//! The inference server simulation.
+//!
+//! Architecture (following the paper's setup, itself modelled on
+//! Clockwork): a central router assigns each request to a GPU queue;
+//! every GPU runs exactly one inference at a time. A request whose
+//! instance is resident runs warm; otherwise the dispatch performs a cold
+//! start under the server's plan mode, LRU-evicting idle instances if the
+//! GPU's model cache is full. Parallel-transmission cold starts borrow the
+//! topology-selected partner GPU's PCIe lane and NVLink; the partner keeps
+//! serving its own queue (only its links are shared, which is exactly the
+//! interference the paper measures in Table 4).
+
+use std::collections::VecDeque;
+
+use exec_engine::hw::{HasHw, HwState};
+use exec_engine::launch::{start_inference, LaunchSpec};
+use gpu_topology::select::pt_group;
+use simcore::driver::{FlowDriver, HasFlowDriver};
+use simcore::sim::{Ctx, Sim};
+use simcore::time::SimTime;
+
+use crate::catalog::DeployedModel;
+use crate::config::ServerConfig;
+use crate::instance::{Instance, Residency};
+use crate::memory::{make_room_with, GpuCache};
+use crate::metrics::ServingReport;
+use crate::workload::Request;
+
+struct Queued {
+    instance: usize,
+    arrival: SimTime,
+}
+
+/// The simulation world of one serving experiment.
+pub struct ServerState {
+    hw: HwState<ServerState>,
+    flows: FlowDriver<ServerState>,
+    cfg: ServerConfig,
+    kinds: Vec<DeployedModel>,
+    sizes: Vec<u64>,
+    instances: Vec<Instance>,
+    caches: Vec<GpuCache>,
+    busy: Vec<bool>,
+    queues: Vec<VecDeque<Queued>>,
+    pending: VecDeque<Request>,
+    report: ServingReport,
+    measure_from: SimTime,
+}
+
+impl HasFlowDriver for ServerState {
+    fn flow_driver(&mut self) -> &mut FlowDriver<ServerState> {
+        &mut self.flows
+    }
+}
+
+impl HasHw for ServerState {
+    fn hw(&mut self) -> &mut HwState<ServerState> {
+        &mut self.hw
+    }
+}
+
+impl ServerState {
+    fn new(
+        cfg: ServerConfig,
+        kinds: Vec<DeployedModel>,
+        instance_kinds: &[usize],
+        trace: Vec<Request>,
+        measure_from: SimTime,
+    ) -> Self {
+        let (hw, flows) = HwState::new(cfg.machine.clone());
+        let n_gpus = cfg.machine.gpu_count();
+        let caches = (0..n_gpus)
+            .map(|g| GpuCache::new(cfg.cache_bytes(g)))
+            .collect();
+        let sizes = kinds.iter().map(|k| k.resident_bytes).collect();
+        let report = ServingReport::new(cfg.slo, cfg.bucket);
+        ServerState {
+            hw,
+            flows,
+            cfg,
+            kinds,
+            sizes,
+            instances: instance_kinds.iter().map(|&k| Instance::new(k)).collect(),
+            caches,
+            busy: vec![false; n_gpus],
+            queues: (0..n_gpus).map(|_| VecDeque::new()).collect(),
+            pending: trace.into(),
+            report,
+            measure_from,
+        }
+    }
+
+    /// Pre-places instances round-robin until every cache is full — the
+    /// paper's "after warming up the instances" step.
+    fn preload(&mut self) {
+        let n_gpus = self.caches.len();
+        let mut g = 0usize;
+        for inst in self.instances.iter_mut() {
+            let bytes = self.sizes[inst.kind];
+            // First GPU (starting from the round-robin cursor) with room.
+            let mut placed = false;
+            for off in 0..n_gpus {
+                let cand = (g + off) % n_gpus;
+                if self.caches[cand].free() >= bytes {
+                    self.caches[cand].used += bytes;
+                    inst.residency = Residency::Resident(cand);
+                    g = (cand + 1) % n_gpus;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                break; // Caches full; the rest start non-resident.
+            }
+        }
+    }
+
+    /// GPU choice for a non-resident instance: shortest queue, then most
+    /// free cache, then lowest index.
+    fn pick_gpu(&self) -> usize {
+        (0..self.queues.len())
+            .min_by_key(|&g| {
+                (
+                    self.queues[g].len() + usize::from(self.busy[g]),
+                    u64::MAX - self.caches[g].free(),
+                    g,
+                )
+            })
+            .expect("machine has GPUs")
+    }
+}
+
+/// Pulls the next trace arrival and schedules its routing event.
+fn schedule_next_arrival(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
+    let Some(req) = s.pending.pop_front() else {
+        return;
+    };
+    ctx.schedule_at(
+        req.at,
+        Box::new(move |s: &mut ServerState, ctx| {
+            route(s, ctx, req);
+            schedule_next_arrival(s, ctx);
+        }),
+    );
+}
+
+/// Routes one request to a GPU queue.
+fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
+    let g = match s.instances[req.instance].gpu() {
+        Some(g) => g,
+        None => s.pick_gpu(),
+    };
+    s.queues[g].push_back(Queued {
+        instance: req.instance,
+        arrival: ctx.now(),
+    });
+    try_dispatch(s, ctx, g);
+}
+
+/// Dispatches the head of GPU `g`'s queue if the GPU is idle.
+fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    if s.busy[g] {
+        return;
+    }
+    let Some(q) = s.queues[g].pop_front() else {
+        return;
+    };
+    let inst_id = q.instance;
+
+    // Re-route if the instance moved to another GPU while queued.
+    if let Some(owner) = s.instances[inst_id].gpu() {
+        if owner != g {
+            s.queues[owner].push_back(q);
+            try_dispatch(s, ctx, owner);
+            // This GPU may still have more queued work.
+            try_dispatch(s, ctx, g);
+            return;
+        }
+    }
+
+    let kind = s.instances[inst_id].kind;
+    let warm = s.instances[inst_id].residency == Residency::Resident(g);
+    if !warm && s.instances[inst_id].residency == Residency::NotResident {
+        // Allocate cache space, LRU-evicting idle residents.
+        let bytes = s.sizes[kind];
+        let evicted = {
+            let (caches, instances) = (&mut s.caches, &mut s.instances);
+            make_room_with(
+                &mut caches[g],
+                g,
+                instances,
+                &s.sizes,
+                bytes,
+                s.cfg.eviction,
+                ctx.now().as_nanos(),
+            )
+        };
+        match evicted {
+            Some(victims) => {
+                s.report.evictions += victims.len() as u64;
+                s.caches[g].used += bytes;
+                s.instances[inst_id].residency = Residency::Loading(g);
+            }
+            None => {
+                // Cache full of busy instances; retry after the current
+                // runs drain (a completion always re-dispatches).
+                s.queues[g].push_front(q);
+                return;
+            }
+        }
+    }
+
+    s.busy[g] = true;
+    s.instances[inst_id].active += 1;
+    s.instances[inst_id].last_used = ctx.now();
+    if q.arrival >= s.measure_from {
+        s.report
+            .queue_wait
+            .push((ctx.now() - q.arrival).as_ms_f64());
+    }
+
+    let dm = &s.kinds[kind];
+    let secondaries: Vec<usize> = if !warm && dm.plan.gpu_slots() > 1 {
+        pt_group(&s.cfg.machine, g, s.cfg.max_pt_gpus)
+            .map(|grp| grp.into_iter().skip(1).collect())
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    let spec = LaunchSpec {
+        rt: dm.rt.clone(),
+        plan: dm.plan.clone(),
+        primary: g,
+        secondaries,
+        warm,
+        skip_exec: false,
+        bulk_migrate: false,
+        distributed: false,
+    };
+    let arrival = q.arrival;
+    start_inference(
+        s,
+        ctx,
+        spec,
+        Box::new(move |s: &mut ServerState, ctx, res| {
+            on_complete(s, ctx, g, inst_id, warm, arrival, res.finished);
+        }),
+    );
+}
+
+/// An inference finished on GPU `g`.
+fn on_complete(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    g: usize,
+    inst_id: usize,
+    warm: bool,
+    arrival: SimTime,
+    finished: SimTime,
+) {
+    s.busy[g] = false;
+    let inst = &mut s.instances[inst_id];
+    inst.active -= 1;
+    if inst.residency == Residency::Loading(g) {
+        inst.residency = Residency::Resident(g);
+    }
+    if arrival >= s.measure_from {
+        s.report.record(finished, finished - arrival, !warm);
+    }
+    try_dispatch(s, ctx, g);
+}
+
+/// Runs one serving experiment to completion and returns the report.
+///
+/// * `kinds` — the deployed model kinds;
+/// * `instance_kinds` — kind index per instance (its length is the
+///   instance count / concurrency);
+/// * `trace` — time-sorted requests over those instances;
+/// * `measure_from` — requests arriving earlier are executed but not
+///   recorded (warm-up window).
+///
+/// # Panics
+///
+/// Panics if the trace references an unknown instance or an instance an
+/// unknown kind.
+pub fn run_server(
+    cfg: ServerConfig,
+    kinds: Vec<DeployedModel>,
+    instance_kinds: &[usize],
+    trace: Vec<Request>,
+    measure_from: SimTime,
+) -> ServingReport {
+    for &k in instance_kinds {
+        assert!(k < kinds.len(), "instance references unknown kind {k}");
+    }
+    let n = instance_kinds.len();
+    assert!(
+        trace.iter().all(|r| r.instance < n),
+        "trace references unknown instance"
+    );
+    // Every deployed instance keeps its full weights pinned in host
+    // memory (that is the model store cold starts copy / DHA-read from).
+    let host_pinned: u64 = instance_kinds
+        .iter()
+        .map(|&k| kinds[k].rt.total_bytes)
+        .sum();
+    assert!(
+        host_pinned <= cfg.host_mem_bytes,
+        "deployment needs {host_pinned} B of pinned host memory, machine has {}",
+        cfg.host_mem_bytes
+    );
+    let mut state = ServerState::new(cfg, kinds, instance_kinds, trace, measure_from);
+    state.report.host_pinned_bytes = host_pinned;
+    state.preload();
+    let mut sim = Sim::new(state);
+    sim.schedule_at(
+        SimTime::ZERO,
+        Box::new(|s: &mut ServerState, ctx| schedule_next_arrival(s, ctx)),
+    );
+    sim.run_until_idle();
+    sim.into_state().report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::poisson;
+    use dnn_models::zoo::{build, ModelId};
+    use exec_planner::generate::PlanMode;
+    use gpu_topology::presets::p3_8xlarge;
+
+    fn bert_kind(mode: PlanMode) -> DeployedModel {
+        let m = p3_8xlarge();
+        DeployedModel::prepare(&build(ModelId::BertBase), &m, mode, 2)
+    }
+
+    fn run(mode: PlanMode, concurrency: usize, requests: usize) -> ServingReport {
+        let cfg = ServerConfig::paper_default(p3_8xlarge(), mode);
+        let kinds = vec![bert_kind(mode)];
+        let instance_kinds = vec![0usize; concurrency];
+        let trace = poisson::generate(100.0, concurrency, requests, SimTime::ZERO, 11);
+        run_server(cfg, kinds, &instance_kinds, trace, SimTime::ZERO)
+    }
+
+    #[test]
+    fn low_concurrency_is_all_warm_and_fast() {
+        let mut r = run(PlanMode::PipeSwitch, 40, 500);
+        assert_eq!(r.completed, 500);
+        assert_eq!(r.cold_starts, 0, "everything fits in memory");
+        let p99 = r.p99_ms();
+        assert!(p99 < 50.0, "p99 {p99:.1} ms");
+        assert!(r.goodput() > 0.99);
+    }
+
+    #[test]
+    fn oversubscription_triggers_cold_starts_and_evictions() {
+        let mut r = run(PlanMode::PipeSwitch, 140, 1_000);
+        assert_eq!(r.completed, 1_000);
+        assert!(r.cold_starts > 50, "cold starts {}", r.cold_starts);
+        assert!(r.evictions > 0);
+        assert!(r.p99_ms() > 40.0);
+    }
+
+    #[test]
+    fn deepplan_beats_pipeswitch_when_oversubscribed() {
+        // Figure 13 at concurrency 140: PipeSwitch's p99 blows past the
+        // SLO while DeepPlan (PT+DHA) stays low.
+        let mut ps = run(PlanMode::PipeSwitch, 150, 1_500);
+        let mut dp = run(PlanMode::PtDha, 150, 1_500);
+        assert!(
+            dp.p99_ms() < ps.p99_ms(),
+            "PT+DHA p99 {:.1} !< PipeSwitch p99 {:.1}",
+            dp.p99_ms(),
+            ps.p99_ms()
+        );
+        assert!(dp.goodput() >= ps.goodput());
+        // DHA plans fit more instances, so fewer cold starts.
+        assert!(dp.cold_starts <= ps.cold_starts);
+    }
+
+    #[test]
+    fn all_requests_complete_under_heavy_load() {
+        let mut r = run(PlanMode::Dha, 200, 2_000);
+        assert_eq!(r.completed, 2_000);
+        assert!(r.p99_ms() > 0.0);
+    }
+}

@@ -1,0 +1,15 @@
+//! Workload generators.
+
+pub mod maf;
+pub mod poisson;
+
+use simcore::time::SimTime;
+
+/// One inference request in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Target instance id.
+    pub instance: usize,
+}

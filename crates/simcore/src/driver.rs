@@ -1,0 +1,228 @@
+//! Glue between the fluid-flow network and the event simulator.
+//!
+//! [`FlowDriver`] owns a [`FlowNet`] plus the per-flow completion
+//! callbacks, and keeps exactly one *tick* event scheduled at the network's
+//! next completion instant. Every rate-changing mutation bumps a generation
+//! counter so stale ticks become no-ops — this is how flow completions stay
+//! correct when new flows join mid-transfer (e.g. a DHA read starting while
+//! a load is in flight).
+
+use std::collections::HashMap;
+
+use crate::flow::{FlowId, FlowNet, LinkId};
+use crate::sim::{Ctx, EventFn};
+
+/// A [`FlowNet`] wired into the simulator with completion callbacks.
+pub struct FlowDriver<S> {
+    /// The underlying network; exposed for setup and statistics.
+    pub net: FlowNet,
+    gen: u64,
+    callbacks: HashMap<u64, EventFn<S>>,
+}
+
+impl<S> Default for FlowDriver<S> {
+    fn default() -> Self {
+        FlowDriver {
+            net: FlowNet::new(),
+            gen: 0,
+            callbacks: HashMap::new(),
+        }
+    }
+}
+
+impl<S> FlowDriver<S> {
+    /// Creates a driver around an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a driver around a pre-built network.
+    pub fn with_net(net: FlowNet) -> Self {
+        FlowDriver {
+            net,
+            gen: 0,
+            callbacks: HashMap::new(),
+        }
+    }
+}
+
+/// States that embed a [`FlowDriver`] keyed on themselves.
+///
+/// Implemented by the hardware state of the execution engine; lets generic
+/// helpers ([`start_flow`]) find the driver inside `S`.
+pub trait HasFlowDriver: Sized + 'static {
+    /// Exclusive access to the embedded flow driver.
+    fn flow_driver(&mut self) -> &mut FlowDriver<Self>;
+}
+
+/// Starts a flow of `bytes` along `path`; `on_done` fires at completion.
+///
+/// Must be called from inside an event handler (it needs the current
+/// simulated time from `ctx`). Zero-byte flows complete via an immediate
+/// event, preserving run-to-completion semantics.
+pub fn start_flow<S: HasFlowDriver>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    bytes: f64,
+    path: Vec<LinkId>,
+    on_done: EventFn<S>,
+) -> FlowId {
+    let now = ctx.now();
+    let d = state.flow_driver();
+    d.net.advance(now);
+    let id = d.net.add_flow(bytes, path);
+    d.callbacks.insert(id.0, on_done);
+    d.gen += 1;
+    fire_completions(state, ctx);
+    reschedule_tick(state, ctx);
+    id
+}
+
+/// Delivers callbacks for every flow the network has marked complete.
+fn fire_completions<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>) {
+    let done = state.flow_driver().net.take_completed();
+    for id in done {
+        if let Some(cb) = state.flow_driver().callbacks.remove(&id.0) {
+            // Deliver through the event queue so that callback effects
+            // observe a consistent driver state.
+            ctx.schedule_in(crate::time::SimDur::ZERO, cb);
+        }
+    }
+}
+
+/// (Re)schedules the single pending tick at the next completion instant.
+fn reschedule_tick<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>) {
+    let now = ctx.now();
+    let d = state.flow_driver();
+    let Some(at) = d.net.next_completion_time(now) else {
+        return;
+    };
+    let my_gen = d.gen;
+    ctx.schedule_at(
+        at,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if state.flow_driver().gen != my_gen {
+                return; // Stale tick: rates changed since scheduling.
+            }
+            let now = ctx.now();
+            let d = state.flow_driver();
+            d.net.advance(now);
+            d.gen += 1;
+            fire_completions(state, ctx);
+            reschedule_tick(state, ctx);
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::Sim;
+    use crate::time::SimTime;
+
+    struct World {
+        driver: FlowDriver<World>,
+        log: Vec<(u64, SimTime)>,
+    }
+
+    impl HasFlowDriver for World {
+        fn flow_driver(&mut self) -> &mut FlowDriver<World> {
+            &mut self.driver
+        }
+    }
+
+    fn world_with_link(cap: f64) -> (World, LinkId) {
+        let mut net = FlowNet::new();
+        let l = net.add_link(cap);
+        (
+            World {
+                driver: FlowDriver::with_net(net),
+                log: Vec::new(),
+            },
+            l,
+        )
+    }
+
+    #[test]
+    fn completion_fires_at_transfer_time() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                start_flow(
+                    w,
+                    ctx,
+                    50.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1);
+        assert!((log[0].1.as_secs_f64() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn joining_flow_delays_first_and_gens_invalidate_stale_ticks() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        // Flow A: 100 bytes from t=0. Alone it would end at t=1.0.
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        // Flow B joins at t=0.5 with 25 bytes.
+        sim.schedule_at(
+            SimTime::from_nanos(500_000_000),
+            Box::new(move |w: &mut World, ctx| {
+                start_flow(
+                    w,
+                    ctx,
+                    25.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((2, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        // At t=0.5, A has 50 left; both run at 50 B/s. B (25B) ends at 1.0,
+        // A then has 25 left and full rate: ends at 1.25.
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].0, 2);
+        assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(log[1].0, 1);
+        assert!((log[1].1.as_secs_f64() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_byte_flow_callback_fires() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                start_flow(
+                    w,
+                    ctx,
+                    0.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((7, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.state().log, vec![(7, SimTime::ZERO)]);
+    }
+}

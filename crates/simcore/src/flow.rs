@@ -1,0 +1,365 @@
+//! Max-min-fair fluid-flow network.
+//!
+//! Models an interconnect (PCIe lanes, PCIe-switch uplinks, NVLink) as a
+//! graph of capacitated links. Active transfers are *flows*: each flow has
+//! a remaining byte count and a path (the set of links it occupies). At any
+//! instant every flow progresses at its max-min-fair rate; the network is
+//! advanced lazily between rate-changing events (flow add/remove), which is
+//! exact for piecewise-constant rates.
+//!
+//! This is the substrate behind the paper's Table 2: two GPUs pulling from
+//! the host through a shared PCIe-switch uplink each converge to half the
+//! uplink bandwidth with no special-casing.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDur, SimTime};
+
+/// Identifier of a link in the network.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct LinkId(pub usize);
+
+/// Identifier of an active flow.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Bytes below which a flow is considered complete (guards float drift).
+const DONE_EPS: f64 = 1e-3;
+
+#[derive(Debug, Clone)]
+struct Link {
+    capacity: f64, // bytes/sec
+    /// Total bytes carried, for utilisation reporting.
+    carried: f64,
+}
+
+#[derive(Debug)]
+struct Flow {
+    id: FlowId,
+    remaining: f64,
+    path: Vec<LinkId>,
+    rate: f64,
+}
+
+/// The fluid-flow network.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::flow::FlowNet;
+/// use simcore::time::SimTime;
+///
+/// let mut net = FlowNet::new();
+/// let link = net.add_link(1e9); // 1 GB/s
+/// let f = net.add_flow(1e9, vec![link]);
+/// let t = net.next_completion_time(SimTime::ZERO).unwrap();
+/// assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+/// net.advance(t);
+/// assert_eq!(net.take_completed(), vec![f]);
+/// ```
+#[derive(Debug, Default)]
+pub struct FlowNet {
+    links: Vec<Link>,
+    flows: Vec<Flow>,
+    completed: Vec<FlowId>,
+    next_flow_id: u64,
+    last_advance: SimTime,
+}
+
+impl FlowNet {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a link with `capacity` bytes/sec and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn add_link(&mut self, capacity: f64) -> LinkId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive"
+        );
+        self.links.push(Link {
+            capacity,
+            carried: 0.0,
+        });
+        LinkId(self.links.len() - 1)
+    }
+
+    /// Number of links in the network.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Total bytes carried by `link` so far.
+    pub fn link_carried_bytes(&self, link: LinkId) -> f64 {
+        self.links[link.0].carried
+    }
+
+    /// Capacity of `link` in bytes/sec.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.links[link.0].capacity
+    }
+
+    /// Starts a flow of `bytes` across `path` and returns its id.
+    ///
+    /// A flow with no remaining bytes (or an empty path) completes at the
+    /// next [`FlowNet::take_completed`] call without occupying capacity.
+    ///
+    /// The caller must have called [`FlowNet::advance`] to the current time
+    /// first, so that other flows' progress is accounted before rates change.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative/non-finite or `path` names an unknown
+    /// link.
+    pub fn add_flow(&mut self, bytes: f64, path: Vec<LinkId>) -> FlowId {
+        assert!(bytes.is_finite() && bytes >= 0.0, "flow bytes invalid");
+        for l in &path {
+            assert!(l.0 < self.links.len(), "unknown link in path");
+        }
+        let id = FlowId(self.next_flow_id);
+        self.next_flow_id += 1;
+        if bytes <= DONE_EPS || path.is_empty() {
+            self.completed.push(id);
+            return id;
+        }
+        self.flows.push(Flow {
+            id,
+            remaining: bytes,
+            path,
+            rate: 0.0,
+        });
+        self.recompute_rates();
+        id
+    }
+
+    /// Number of in-flight (incomplete) flows.
+    pub fn active_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// The current max-min-fair rate of a flow, or `None` if not active.
+    pub fn flow_rate(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.rate)
+    }
+
+    /// Remaining bytes of a flow, or `None` if not active.
+    pub fn flow_remaining(&self, id: FlowId) -> Option<f64> {
+        self.flows.iter().find(|f| f.id == id).map(|f| f.remaining)
+    }
+
+    /// Advances all flows to `now`, moving finished flows to the completed
+    /// list and recomputing rates if any finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` is before the last advance point.
+    pub fn advance(&mut self, now: SimTime) {
+        assert!(now >= self.last_advance, "time moved backwards");
+        let dt = (now - self.last_advance).as_secs_f64();
+        self.last_advance = now;
+        if dt <= 0.0 || self.flows.is_empty() {
+            return;
+        }
+        for f in &mut self.flows {
+            let moved = (f.rate * dt).min(f.remaining);
+            f.remaining -= moved;
+            for l in &f.path {
+                self.links[l.0].carried += moved;
+            }
+        }
+        let mut any_done = false;
+        self.flows.retain(|f| {
+            if f.remaining <= DONE_EPS {
+                self.completed.push(f.id);
+                any_done = true;
+                false
+            } else {
+                true
+            }
+        });
+        if any_done {
+            self.recompute_rates();
+        }
+    }
+
+    /// Takes the list of flows that completed since the last call.
+    pub fn take_completed(&mut self) -> Vec<FlowId> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// The earliest future instant at which some active flow completes,
+    /// assuming rates stay constant. `None` when no flow is active.
+    pub fn next_completion_time(&self, now: SimTime) -> Option<SimTime> {
+        debug_assert!(now >= self.last_advance);
+        let already = (now - self.last_advance).as_secs_f64();
+        let mut best: Option<f64> = None;
+        for f in &self.flows {
+            if f.rate <= 0.0 {
+                continue;
+            }
+            let t = (f.remaining / f.rate - already).max(0.0);
+            best = Some(match best {
+                Some(b) => b.min(t),
+                None => t,
+            });
+        }
+        best.map(|secs| now + SimDur::from_secs_f64(secs))
+    }
+
+    /// Recomputes max-min-fair rates with progressive water-filling.
+    fn recompute_rates(&mut self) {
+        let n = self.flows.len();
+        if n == 0 {
+            return;
+        }
+        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
+        let mut unfrozen_per_link: Vec<usize> = vec![0; self.links.len()];
+        let mut frozen = vec![false; n];
+        for f in &mut self.flows {
+            f.rate = 0.0;
+        }
+        for f in &self.flows {
+            for l in &f.path {
+                unfrozen_per_link[l.0] += 1;
+            }
+        }
+        let mut remaining_flows = n;
+        while remaining_flows > 0 {
+            // The bottleneck link is the one offering the smallest fair
+            // share to its unfrozen flows.
+            let mut share = f64::INFINITY;
+            for i in 0..self.links.len() {
+                if unfrozen_per_link[i] > 0 {
+                    share = share.min(residual[i] / unfrozen_per_link[i] as f64);
+                }
+            }
+            if !share.is_finite() {
+                break;
+            }
+            // Freeze every unfrozen flow crossing a bottleneck at `share`.
+            let mut froze_any = false;
+            for fi in 0..n {
+                if frozen[fi] {
+                    continue;
+                }
+                let is_bottlenecked = self.flows[fi].path.iter().any(|l| {
+                    unfrozen_per_link[l.0] > 0
+                        && (residual[l.0] / unfrozen_per_link[l.0] as f64) <= share * (1.0 + 1e-12)
+                });
+                if is_bottlenecked {
+                    frozen[fi] = true;
+                    froze_any = true;
+                    remaining_flows -= 1;
+                    self.flows[fi].rate = share;
+                    for l in &self.flows[fi].path {
+                        residual[l.0] = (residual[l.0] - share).max(0.0);
+                        unfrozen_per_link[l.0] -= 1;
+                    }
+                }
+            }
+            if !froze_any {
+                // Numerical safety valve: freeze everything at `share`.
+                for fi in 0..n {
+                    if !frozen[fi] {
+                        frozen[fi] = true;
+                        remaining_flows -= 1;
+                        self.flows[fi].rate = share;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: f64) -> SimTime {
+        SimTime::from_nanos((secs * 1e9) as u64)
+    }
+
+    #[test]
+    fn single_flow_saturates_link() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.add_flow(100.0, vec![l]);
+        assert_eq!(net.flow_rate(f), Some(10.0));
+        let done = net.next_completion_time(SimTime::ZERO).unwrap();
+        assert!((done.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_flows_share_a_link_equally() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let a = net.add_flow(100.0, vec![l]);
+        let b = net.add_flow(50.0, vec![l]);
+        assert_eq!(net.flow_rate(a), Some(5.0));
+        assert_eq!(net.flow_rate(b), Some(5.0));
+        // b finishes at t=10; afterwards a gets the full link.
+        net.advance(t(10.0));
+        assert_eq!(net.take_completed(), vec![b]);
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        let done = net.next_completion_time(t(10.0)).unwrap();
+        assert!((done.as_secs_f64() - 15.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bottleneck_spare_capacity_goes_to_unconstrained_flow() {
+        // Flow A crosses links L0(10) and L1(4); flow B crosses only L1.
+        // Max-min: both bottlenecked on L1 at 2.0... then A cannot use more
+        // of L0. Classic water-filling: A=2, B=2.
+        let mut net = FlowNet::new();
+        let l0 = net.add_link(10.0);
+        let l1 = net.add_link(4.0);
+        let a = net.add_flow(100.0, vec![l0, l1]);
+        let b = net.add_flow(100.0, vec![l1]);
+        assert!((net.flow_rate(a).unwrap() - 2.0).abs() < 1e-9);
+        assert!((net.flow_rate(b).unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn asymmetric_bottlenecks_water_fill() {
+        // L0 cap 2 carries A; L1 cap 10 carries A and B.
+        // A is frozen at 2 by L0, B then gets 8 on L1.
+        let mut net = FlowNet::new();
+        let l0 = net.add_link(2.0);
+        let l1 = net.add_link(10.0);
+        let a = net.add_flow(100.0, vec![l0, l1]);
+        let b = net.add_flow(100.0, vec![l1]);
+        assert!((net.flow_rate(a).unwrap() - 2.0).abs() < 1e-9);
+        assert!((net.flow_rate(b).unwrap() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.add_flow(0.0, vec![l]);
+        assert_eq!(net.take_completed(), vec![f]);
+        assert_eq!(net.active_flows(), 0);
+    }
+
+    #[test]
+    fn carried_bytes_accumulate() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        net.add_flow(50.0, vec![l]);
+        net.advance(t(2.0));
+        assert!((net.link_carried_bytes(l) - 20.0).abs() < 1e-6);
+        net.advance(t(5.0));
+        assert!((net.link_carried_bytes(l) - 50.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "link capacity")]
+    fn rejects_zero_capacity() {
+        FlowNet::new().add_link(0.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate is the hardware-independent substrate for the DeepPlan
+//! reproduction. It provides:
+//!
+//! * [`time`] — integer-nanosecond simulated time ([`SimTime`], [`SimDur`]).
+//! * [`sim`] — a closure-based discrete-event simulator ([`Sim`], [`Ctx`])
+//!   generic over a user state type.
+//! * [`flow`] — a fluid-flow network with max-min-fair bandwidth sharing,
+//!   used to model PCIe links, PCIe switches and NVLink.
+//! * [`driver`] — glue that schedules flow-completion events into the
+//!   simulator ([`FlowDriver`], [`HasFlowDriver`]).
+//! * [`slab`] — a tiny generational-free slab allocator for run bookkeeping.
+//! * [`rng`] — seeded random-variate helpers (exponential, Poisson process).
+//! * [`stats`] — summary statistics, percentiles and time-series bucketing.
+//!
+//! All simulation state is deterministic: no wall-clock reads and no OS
+//! randomness. Identical inputs replay identical schedules bit-for-bit.
+
+pub mod driver;
+pub mod flow;
+pub mod rng;
+pub mod sim;
+pub mod slab;
+pub mod stats;
+pub mod time;
+
+pub use driver::{start_flow, FlowDriver, HasFlowDriver};
+pub use flow::{FlowId, FlowNet, LinkId};
+pub use sim::{Ctx, EventFn, Sim};
+pub use slab::Slab;
+pub use time::{SimDur, SimTime};

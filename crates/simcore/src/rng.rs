@@ -1,0 +1,127 @@
+//! Seeded random-variate helpers.
+//!
+//! All randomness in the reproduction flows through explicitly seeded
+//! [`StdRng`] instances so that every experiment replays exactly. The
+//! helpers here provide the variates the serving workloads need:
+//! exponential inter-arrival gaps (Poisson processes), uniform picks and
+//! log-normal service multipliers.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::time::SimDur;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derives a child seed from a parent seed and a stream index.
+///
+/// Uses SplitMix64 so that nearby `(seed, stream)` pairs yield unrelated
+/// child seeds.
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Samples an exponential variate with the given rate (events/sec).
+///
+/// # Panics
+///
+/// Panics if `rate_per_sec` is not strictly positive.
+pub fn exp_secs(rng: &mut StdRng, rate_per_sec: f64) -> f64 {
+    assert!(rate_per_sec > 0.0, "rate must be positive");
+    let u: f64 = rng.random::<f64>();
+    // Guard against ln(0).
+    -((1.0 - u).max(f64::MIN_POSITIVE)).ln() / rate_per_sec
+}
+
+/// Samples a Poisson-process inter-arrival gap as a [`SimDur`].
+pub fn exp_gap(rng: &mut StdRng, rate_per_sec: f64) -> SimDur {
+    SimDur::from_secs_f64(exp_secs(rng, rate_per_sec))
+}
+
+/// Samples a log-normal multiplier with median 1 and the given sigma.
+///
+/// Used for small measurement jitter around analytic layer costs.
+pub fn lognormal_jitter(rng: &mut StdRng, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 1.0;
+    }
+    // Box-Muller from two uniforms.
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (sigma * z).exp()
+}
+
+/// Picks a uniformly random index in `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn pick_index(rng: &mut StdRng, n: usize) -> usize {
+    assert!(n > 0, "cannot pick from empty range");
+    rng.random_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = seeded(42);
+        let mut b = seeded(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn derive_seed_separates_streams() {
+        let s1 = derive_seed(1, 0);
+        let s2 = derive_seed(1, 1);
+        assert_ne!(s1, s2);
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+        // Deterministic.
+        assert_eq!(derive_seed(1, 0), derive_seed(1, 0));
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut rng = seeded(7);
+        let rate = 100.0;
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| exp_secs(&mut rng, rate)).sum();
+        let mean = total / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.001,
+            "mean {mean} too far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut rng = seeded(9);
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| lognormal_jitter(&mut rng, 0.2))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 1.0).abs() < 0.05, "median {median}");
+        assert_eq!(lognormal_jitter(&mut rng, 0.0), 1.0);
+    }
+
+    #[test]
+    fn pick_index_in_range() {
+        let mut rng = seeded(3);
+        for _ in 0..1000 {
+            assert!(pick_index(&mut rng, 5) < 5);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! The discrete-event simulator core.
+//!
+//! [`Sim`] owns a user-defined state `S` and a time-ordered queue of
+//! one-shot closure events. Events receive `(&mut S, &mut Ctx<S>)`; the
+//! context exposes the current simulated time and lets handlers schedule
+//! further events. Ties in time are broken by insertion order, which keeps
+//! runs fully deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDur, SimTime};
+
+/// A one-shot event handler.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>)>;
+
+/// Scheduling context handed to every event handler.
+///
+/// Handlers use it to read the clock and to enqueue follow-up events.
+/// Newly scheduled events are merged into the main queue when the handler
+/// returns.
+pub struct Ctx<S> {
+    now: SimTime,
+    pending: Vec<(SimTime, EventFn<S>)>,
+}
+
+impl<S> Ctx<S> {
+    fn new(now: SimTime) -> Self {
+        Ctx {
+            now,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Times in the past are clamped to "now": the event still runs, after
+    /// every event already queued for the current instant.
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) {
+        self.pending.push((at.max(self.now), f));
+    }
+
+    /// Schedules `f` to run `after` from now.
+    pub fn schedule_in(&mut self, after: SimDur, f: EventFn<S>) {
+        self.pending.push((self.now + after, f));
+    }
+}
+
+struct Entry {
+    at: SimTime,
+    seq: u64,
+    slot: usize,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulator over a state type `S`.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::{Sim, SimDur};
+///
+/// let mut sim = Sim::new(0u32);
+/// sim.schedule_in(SimDur::from_millis(5), Box::new(|count: &mut u32, ctx| {
+///     *count += 1;
+///     ctx.schedule_in(SimDur::from_millis(5), Box::new(|count: &mut u32, _| *count += 1));
+/// }));
+/// let end = sim.run_until_idle();
+/// assert_eq!(*sim.state(), 2);
+/// assert_eq!(end.as_ms_f64(), 10.0);
+/// ```
+pub struct Sim<S> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry>>,
+    handlers: Vec<Option<EventFn<S>>>,
+    free: Vec<usize>,
+    state: S,
+}
+
+impl<S> Sim<S> {
+    /// Creates a simulator at t = 0 around `state`.
+    pub fn new(state: S) -> Self {
+        Sim {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            handlers: Vec::new(),
+            free: Vec::new(),
+            state,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulation state (setup/inspection between
+    /// runs; events mutate state through their handler arguments instead).
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulator and returns the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules an event at absolute time `at` (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) {
+        let at = at.max(self.now);
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.handlers[i] = Some(f);
+                i
+            }
+            None => {
+                self.handlers.push(Some(f));
+                self.handlers.len() - 1
+            }
+        };
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            slot,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules an event `after` from now.
+    pub fn schedule_in(&mut self, after: SimDur, f: EventFn<S>) {
+        self.schedule_at(self.now + after, f);
+    }
+
+    /// Runs events until the queue drains; returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Runs events with timestamps `<= deadline`; the clock ends at
+    /// `max(now, deadline)` even if the queue drains earlier.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            match self.peek_time() {
+                Some(t) if t <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// The timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of events currently queued.
+    pub fn pending_events(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn step(&mut self) -> bool {
+        let Some(Reverse(entry)) = self.heap.pop() else {
+            return false;
+        };
+        let f = self.handlers[entry.slot]
+            .take()
+            .expect("handler fired twice");
+        self.free.push(entry.slot);
+        self.now = entry.at;
+        let mut ctx = Ctx::new(self.now);
+        f(&mut self.state, &mut ctx);
+        for (at, g) in ctx.pending {
+            self.schedule_at(at, g);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_then_fifo_order() {
+        let mut sim = Sim::new(Vec::<u32>::new());
+        sim.schedule_at(
+            SimTime::from_nanos(10),
+            Box::new(|v: &mut Vec<u32>, _| v.push(2)),
+        );
+        sim.schedule_at(SimTime::from_nanos(5), Box::new(|v, _| v.push(1)));
+        sim.schedule_at(SimTime::from_nanos(10), Box::new(|v, _| v.push(3)));
+        sim.run_until_idle();
+        assert_eq!(sim.state(), &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_scheduling_advances_clock() {
+        let mut sim = Sim::new(0u64);
+        sim.schedule_in(
+            SimDur::from_micros(1),
+            Box::new(|s, ctx| {
+                *s = ctx.now().as_nanos();
+                ctx.schedule_in(
+                    SimDur::from_micros(2),
+                    Box::new(|s, ctx| *s += ctx.now().as_nanos()),
+                );
+            }),
+        );
+        let end = sim.run_until_idle();
+        assert_eq!(end.as_nanos(), 3_000);
+        assert_eq!(*sim.state(), 1_000 + 3_000);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(0u32);
+        sim.schedule_at(SimTime::from_nanos(100), Box::new(|s: &mut u32, _| *s += 1));
+        sim.schedule_at(SimTime::from_nanos(200), Box::new(|s: &mut u32, _| *s += 1));
+        sim.run_until(SimTime::from_nanos(150));
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.now().as_nanos(), 150);
+        sim.run_until_idle();
+        assert_eq!(*sim.state(), 2);
+    }
+
+    #[test]
+    fn past_schedules_clamp_to_now() {
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.schedule_at(
+            SimTime::from_nanos(50),
+            Box::new(|_, ctx| {
+                ctx.schedule_at(
+                    SimTime::from_nanos(10),
+                    Box::new(|v, c| v.push(c.now().as_nanos())),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        assert_eq!(sim.state(), &vec![50]);
+    }
+
+    #[test]
+    fn handler_slots_are_recycled() {
+        let mut sim = Sim::new(0u32);
+        for _ in 0..100 {
+            sim.schedule_in(SimDur::from_nanos(1), Box::new(|s: &mut u32, _| *s += 1));
+            sim.run_until_idle();
+        }
+        assert_eq!(*sim.state(), 100);
+        // All hundred events reused a single slot.
+        assert!(sim.handlers.len() <= 2);
+    }
+}

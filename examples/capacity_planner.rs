@@ -1,0 +1,52 @@
+//! Capacity planner: how many model instances can the four-GPU server
+//! consolidate per execution mode before the 100 ms SLO breaks?
+//!
+//! ```text
+//! cargo run --release --example capacity_planner -- 100 0.99
+//! #                                   requests/sec^   ^goodput target
+//! ```
+
+use deepplan::{ModelId, PlanMode};
+use dnn_models::zoo::build;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::capacity::{max_sustainable_instances, CapacityQuery};
+use model_serving::catalog::DeployedModel;
+use model_serving::config::ServerConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let rate: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let target: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.99);
+
+    println!(
+        "max BERT-Base instances a p3.8xlarge sustains at {rate} rps with \
+         goodput >= {target} (SLO 100 ms):\n"
+    );
+    let q = CapacityQuery {
+        rate,
+        goodput_target: target,
+        requests: 1_200,
+        max_instances: 400,
+        ..Default::default()
+    };
+    let mut baseline = 0usize;
+    for mode in [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha] {
+        let machine = p3_8xlarge();
+        let cfg = ServerConfig::paper_default(machine.clone(), mode);
+        let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, mode, 2);
+        let n = max_sustainable_instances(&cfg, &kind, &q);
+        if mode == PlanMode::PipeSwitch {
+            baseline = n;
+        }
+        println!(
+            "  {:<20} {:>4} instances{}",
+            mode.label(),
+            n,
+            if mode != PlanMode::PipeSwitch && baseline > 0 {
+                format!("  (+{} over PipeSwitch)", n.saturating_sub(baseline))
+            } else {
+                String::new()
+            }
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Plan explorer: generate and inspect an execution plan for any zoo
+//! model, machine and mode; optionally dump the plan JSON.
+//!
+//! ```text
+//! cargo run --release --example plan_explorer -- gpt2 dha
+//! cargo run --release --example plan_explorer -- bert-large pt+dha p3 --json
+//! ```
+
+use deepplan::excerpt::{excerpt, format_excerpt};
+use deepplan::{DeepPlan, LayerExec, ModelId, PlanMode};
+use gpu_topology::presets::{a5000_dual, p3_8xlarge, single_v100};
+
+fn parse_model(s: &str) -> Option<ModelId> {
+    Some(match s.to_lowercase().as_str() {
+        "resnet-50" | "resnet50" => ModelId::ResNet50,
+        "resnet-101" | "resnet101" => ModelId::ResNet101,
+        "bert-base" | "bert" => ModelId::BertBase,
+        "bert-large" => ModelId::BertLarge,
+        "roberta-base" | "roberta" => ModelId::RobertaBase,
+        "roberta-large" => ModelId::RobertaLarge,
+        "gpt2" | "gpt-2" => ModelId::Gpt2,
+        "gpt2-medium" | "gpt-2-medium" => ModelId::Gpt2Medium,
+        _ => return None,
+    })
+}
+
+fn parse_mode(s: &str) -> Option<PlanMode> {
+    Some(match s.to_lowercase().as_str() {
+        "baseline" => PlanMode::Baseline,
+        "pipeswitch" | "ps" => PlanMode::PipeSwitch,
+        "dha" => PlanMode::Dha,
+        "pt" => PlanMode::Pt,
+        "pt+dha" | "ptdha" => PlanMode::PtDha,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let model = args
+        .first()
+        .and_then(|s| parse_model(s))
+        .unwrap_or(ModelId::BertBase);
+    let mode = args
+        .get(1)
+        .and_then(|s| parse_mode(s))
+        .unwrap_or(PlanMode::PtDha);
+    let machine = match args.get(2).map(|s| s.as_str()) {
+        Some("single") => single_v100(),
+        Some("a5000") => a5000_dual(),
+        _ => p3_8xlarge(),
+    };
+    let want_json = args.iter().any(|a| a == "--json");
+
+    let dp = DeepPlan::new(machine);
+    let bundle = dp.plan_mode(model, 1, mode);
+
+    println!(
+        "model   : {model} ({:.1} MiB params)",
+        bundle.runtime.total_bytes as f64 / (1 << 20) as f64
+    );
+    println!("machine : {}", bundle.machine.name);
+    println!("mode    : {mode}");
+    println!(
+        "slots   : {} GPU(s) for transmission",
+        bundle.plan.gpu_slots()
+    );
+    println!(
+        "memory  : {} MiB resident on GPU, {} MiB stay in host memory",
+        bundle.resident_bytes() >> 20,
+        bundle.host_bytes() >> 20
+    );
+    let dha_count = bundle
+        .plan
+        .decisions
+        .iter()
+        .zip(&bundle.profile.layers)
+        .filter(|(d, l)| **d == LayerExec::Dha && l.param_bytes > 0)
+        .count();
+    println!("DHA     : {dha_count} parameter layers execute from host memory");
+
+    let est = bundle.estimate();
+    let cold = bundle.simulate_cold(0);
+    println!(
+        "latency : estimate {:.2} ms | engine {:.2} ms (stall {:.2} ms)",
+        est.total.as_ms_f64(),
+        cold.latency().as_ms_f64(),
+        cold.stall.as_ms_f64()
+    );
+    println!(
+        "\nfront of plan : {}",
+        format_excerpt(&excerpt(&bundle.profile, &bundle.plan, 0, 8))
+    );
+
+    if want_json {
+        println!("\n{}", bundle.plan.to_json());
+    }
+}

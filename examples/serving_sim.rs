@@ -1,0 +1,50 @@
+//! Serving simulation: deploy N BERT-Base instances on the four-GPU
+//! server and drive them with open-loop Poisson traffic, comparing
+//! PipeSwitch against the DeepPlan modes (the Figure 13 scenario).
+//!
+//! ```text
+//! cargo run --release --example serving_sim -- 160 100
+//! #                                        instances^  ^requests/sec
+//! ```
+
+use deepplan::{ModelId, PlanMode};
+use dnn_models::zoo::build;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::catalog::DeployedModel;
+use model_serving::config::ServerConfig;
+use model_serving::server::run_server;
+use model_serving::workload::poisson;
+use simcore::time::SimTime;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let instances: usize = args.first().and_then(|s| s.parse().ok()).unwrap_or(160);
+    let rate: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100.0);
+    let requests = 2_000usize;
+
+    println!(
+        "serving {instances} BERT-Base instances at {rate} rps on a p3.8xlarge \
+         ({requests} measured requests, SLO 100 ms)\n"
+    );
+    println!(
+        "{:<20} {:>9} {:>10} {:>8} {:>10}",
+        "mode", "p99 ms", "goodput %", "cold %", "evictions"
+    );
+    for mode in [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha] {
+        let machine = p3_8xlarge();
+        let cfg = ServerConfig::paper_default(machine.clone(), mode);
+        let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, mode, 2);
+        let warmup = requests / 4;
+        let trace = poisson::generate(rate, instances, warmup + requests, SimTime::ZERO, 0xBEEF);
+        let measure_from = trace[warmup - 1].at;
+        let mut report = run_server(cfg, vec![kind], &vec![0; instances], trace, measure_from);
+        println!(
+            "{:<20} {:>9.1} {:>10.1} {:>8.2} {:>10}",
+            mode.label(),
+            report.p99_ms(),
+            report.goodput() * 100.0,
+            report.cold_rate() * 100.0,
+            report.evictions
+        );
+    }
+}

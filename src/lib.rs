@@ -1,0 +1,14 @@
+//! Umbrella crate for the DeepPlan reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use deepplan_suite::...`. The real public API
+//! lives in [`deepplan`]; the other crates are the substrates it runs on.
+
+pub use deepplan;
+pub use dnn_models;
+pub use exec_engine;
+pub use exec_planner;
+pub use gpu_topology;
+pub use layer_profiler;
+pub use model_serving;
+pub use simcore;

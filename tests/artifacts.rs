@@ -1,0 +1,58 @@
+//! Artifact round-trips: plans and profiles are JSON artifacts that cross
+//! process boundaries (generated offline, deployed to servers).
+
+use deepplan::{DeepPlan, ExecutionPlan, ModelId, PlanMode};
+use exec_planner::validate::validate;
+use gpu_topology::machine::Machine;
+use gpu_topology::presets::p3_8xlarge;
+use layer_profiler::profile::ModelProfile;
+
+#[test]
+fn plan_and_profile_roundtrip_through_json() {
+    let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+    for id in [ModelId::ResNet50, ModelId::BertBase, ModelId::Gpt2Medium] {
+        let b = dp.plan_mode(id, 1, PlanMode::PtDha);
+        let plan_json = b.plan.to_json();
+        let profile_json = b.profile.to_json();
+        let plan = ExecutionPlan::from_json(&plan_json).unwrap();
+        let profile = ModelProfile::from_json(&profile_json).unwrap();
+        assert_eq!(&plan, &*b.plan);
+        assert_eq!(profile.layers, b.profile.layers);
+        validate(&plan, &profile).unwrap();
+    }
+}
+
+#[test]
+fn machine_description_roundtrips_through_json() {
+    let m = p3_8xlarge();
+    let json = serde_json::to_string(&m).unwrap();
+    let back: Machine = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.gpu_count(), m.gpu_count());
+    assert_eq!(back.switch_count, m.switch_count);
+    assert_eq!(back.nvlink_pairs, m.nvlink_pairs);
+    back.validate().unwrap();
+}
+
+#[test]
+fn corrupted_plan_is_rejected() {
+    let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+    let b = dp.plan_mode(ModelId::BertBase, 1, PlanMode::PtDha);
+    let mut plan = (*b.plan).clone();
+    // Drop a partition entry: a Load layer becomes unpartitioned.
+    plan.partitions[1].pop();
+    assert!(validate(&plan, &b.profile).is_err());
+}
+
+#[test]
+fn plans_transfer_between_machines_of_same_class_only() {
+    // A plan generated for the p3 has 2 slots; its shape is checkable
+    // against any profile of the same model.
+    let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+    let b = dp.plan_mode(ModelId::BertBase, 1, PlanMode::PtDha);
+    assert_eq!(b.plan.gpu_slots(), 2);
+    // Same model on a different machine profile still validates (length
+    // and partition structure are machine-independent).
+    let dp2 = DeepPlan::new(gpu_topology::presets::a5000_dual()).with_exact_profile();
+    let b2 = dp2.plan_mode(ModelId::BertBase, 1, PlanMode::PtDha);
+    validate(&b.plan, &b2.profile).unwrap();
+}

@@ -1,0 +1,62 @@
+//! Bit-for-bit determinism of the whole stack: identical inputs must
+//! replay identical schedules, latencies and reports.
+
+use deepplan::{DeepPlan, ModelId, PlanMode};
+use gpu_topology::presets::p3_8xlarge;
+
+#[test]
+fn planning_is_deterministic_with_noisy_profiles() {
+    // Even the jittered profiler is seeded: two planners on the same
+    // machine must produce byte-identical plans.
+    let plan = || DeepPlan::new(p3_8xlarge()).plan_mode(ModelId::BertBase, 1, PlanMode::PtDha);
+    let a = plan();
+    let b = plan();
+    assert_eq!(a.plan, b.plan);
+    assert_eq!(a.profile.layers, b.profile.layers);
+}
+
+#[test]
+fn engine_latencies_are_exactly_reproducible() {
+    let dp = DeepPlan::new(p3_8xlarge()).with_exact_profile();
+    for mode in PlanMode::all() {
+        let bundle = dp.plan_mode(ModelId::RobertaLarge, 1, mode);
+        let a = bundle.simulate_cold(0);
+        let b = bundle.simulate_cold(0);
+        assert_eq!(a.finished, b.finished, "{mode}");
+        assert_eq!(a.stall, b.stall, "{mode}");
+        assert_eq!(a.exec_busy, b.exec_busy, "{mode}");
+    }
+}
+
+#[test]
+fn workload_generators_are_pure_functions_of_seed() {
+    use model_serving::workload::{maf, poisson};
+    use simcore::time::{SimDur, SimTime};
+
+    let p1 = poisson::generate(100.0, 50, 1_000, SimTime::ZERO, 42);
+    let p2 = poisson::generate(100.0, 50, 1_000, SimTime::ZERO, 42);
+    assert_eq!(p1, p2);
+
+    let m1 = maf::generate(
+        150.0,
+        90,
+        SimDur::from_secs(600),
+        maf::MafShape::default(),
+        42,
+    );
+    let m2 = maf::generate(
+        150.0,
+        90,
+        SimDur::from_secs(600),
+        maf::MafShape::default(),
+        42,
+    );
+    assert_eq!(m1, m2);
+}
+
+#[test]
+fn experiment_tables_are_reproducible() {
+    let a = bench::experiments::fig11::run();
+    let b = bench::experiments::fig11::run();
+    assert_eq!(a.rows, b.rows);
+}

@@ -1,0 +1,133 @@
+//! Serving-system integration tests spanning the engine, planner and
+//! server crates.
+
+use deepplan::{ModelId, PlanMode};
+use dnn_models::zoo::build;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::catalog::DeployedModel;
+use model_serving::config::ServerConfig;
+use model_serving::server::run_server;
+use model_serving::workload::maf::{self, MafShape};
+use model_serving::workload::poisson;
+use simcore::time::{SimDur, SimTime};
+
+fn bert_run(
+    mode: PlanMode,
+    instances: usize,
+    requests: usize,
+    seed: u64,
+) -> model_serving::ServingReport {
+    let machine = p3_8xlarge();
+    let cfg = ServerConfig::paper_default(machine.clone(), mode);
+    let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, mode, 2);
+    let trace = poisson::generate(100.0, instances, requests, SimTime::ZERO, seed);
+    run_server(cfg, vec![kind], &vec![0; instances], trace, SimTime::ZERO)
+}
+
+#[test]
+fn serving_is_deterministic() {
+    let mut a = bert_run(PlanMode::PtDha, 150, 1_000, 5);
+    let mut b = bert_run(PlanMode::PtDha, 150, 1_000, 5);
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.cold_starts, b.cold_starts);
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(a.latencies.raw(), b.latencies.raw());
+    assert_eq!(a.p99_ms(), b.p99_ms());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let a = bert_run(PlanMode::PtDha, 150, 1_000, 5);
+    let b = bert_run(PlanMode::PtDha, 150, 1_000, 6);
+    assert_ne!(a.latencies.raw(), b.latencies.raw());
+}
+
+#[test]
+fn no_requests_are_lost_at_any_concurrency() {
+    for instances in [20, 100, 180, 240] {
+        let r = bert_run(PlanMode::Dha, instances, 600, 9);
+        assert_eq!(r.completed, 600, "at {instances} instances");
+    }
+}
+
+#[test]
+fn capacity_cliff_appears_past_cache_size() {
+    // Four GPUs hold ~100 PipeSwitch BERT-Base instances; below that
+    // there must be no cold start at all, above it there must be some.
+    let below = bert_run(PlanMode::PipeSwitch, 90, 800, 13);
+    assert_eq!(below.cold_starts, 0, "cold starts below capacity");
+    let above = bert_run(PlanMode::PipeSwitch, 130, 800, 13);
+    assert!(above.cold_starts > 0, "no cold starts above capacity");
+}
+
+#[test]
+fn dha_mode_fits_more_instances_before_the_cliff() {
+    // Paper §5.3.1: DeepPlan serves ~24 more instances (embeddings stay
+    // host-side). At 110 instances PipeSwitch already misses, DHA not.
+    let ps = bert_run(PlanMode::PipeSwitch, 112, 800, 21);
+    let dha = bert_run(PlanMode::Dha, 112, 800, 21);
+    assert!(ps.cold_starts > 0);
+    assert_eq!(dha.cold_starts, 0, "DHA should still fit 112 instances");
+}
+
+#[test]
+fn mixed_model_trace_serves_all_kinds() {
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PtDha;
+    let cfg = ServerConfig::paper_default(machine.clone(), mode);
+    let kinds: Vec<DeployedModel> = [ModelId::BertBase, ModelId::RobertaBase, ModelId::Gpt2]
+        .iter()
+        .map(|&id| DeployedModel::prepare(&build(id), &machine, mode, 2))
+        .collect();
+    let instances = 90usize;
+    let instance_kinds: Vec<usize> = (0..instances).map(|i| i % 3).collect();
+    let trace = maf::generate(
+        120.0,
+        instances,
+        SimDur::from_secs(300),
+        MafShape::default(),
+        77,
+    );
+    let n = trace.len() as u64;
+    let r = run_server(cfg, kinds, &instance_kinds, trace, SimTime::ZERO);
+    assert_eq!(r.completed, n);
+    assert!(r.goodput() > 0.5);
+}
+
+#[test]
+fn queue_wait_is_a_lower_component_of_latency() {
+    let mut r = bert_run(PlanMode::PipeSwitch, 140, 1_000, 17);
+    assert_eq!(r.queue_wait.len() as u64, r.completed);
+    let p99_wait = r.p99_queue_wait_ms();
+    let p99_total = r.p99_ms();
+    assert!(p99_wait <= p99_total, "wait {p99_wait} > total {p99_total}");
+    assert!(p99_wait > 0.0, "oversubscribed server must queue");
+}
+
+#[test]
+fn host_pinned_memory_is_accounted() {
+    let r = bert_run(PlanMode::PipeSwitch, 100, 200, 19);
+    // 100 BERT-Base instances ≈ 100 × 418 MiB ≈ 40.8 GiB.
+    let gib = r.host_pinned_bytes as f64 / (1u64 << 30) as f64;
+    assert!((38.0..44.0).contains(&gib), "host pinned {gib:.1} GiB");
+}
+
+#[test]
+#[should_panic(expected = "pinned host memory")]
+fn oversized_deployment_is_rejected() {
+    let machine = p3_8xlarge();
+    let mut cfg = ServerConfig::paper_default(machine.clone(), PlanMode::Dha);
+    cfg.host_mem_bytes = 1 << 30; // A 1 GiB host cannot store 10 BERTs.
+    let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, PlanMode::Dha, 2);
+    let trace = poisson::generate(10.0, 10, 10, SimTime::ZERO, 1);
+    run_server(cfg, vec![kind], &vec![0; 10], trace, SimTime::ZERO);
+}
+
+#[test]
+fn slo_goodput_is_monotone_in_slo() {
+    let r = bert_run(PlanMode::PipeSwitch, 140, 1_000, 3);
+    let g50 = r.latencies.fraction_at_most(50.0);
+    let g100 = r.latencies.fraction_at_most(100.0);
+    let g200 = r.latencies.fraction_at_most(200.0);
+    assert!(g50 <= g100 && g100 <= g200);
+}
