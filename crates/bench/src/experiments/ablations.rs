@@ -322,7 +322,7 @@ pub fn eviction_policy() -> Table {
             MafShape::default(),
             0x5EED,
         );
-        let mut r = run_server(cfg, vec![kind], &vec![0usize; 150], trace, SimTime::ZERO);
+        let r = run_server(cfg, vec![kind], &vec![0usize; 150], trace, SimTime::ZERO);
         t.push(vec![
             label.to_string(),
             fmt(r.p99_ms(), 1),

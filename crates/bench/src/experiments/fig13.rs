@@ -51,7 +51,7 @@ pub fn run_with(measured: usize) -> Table {
     for c in grid() {
         let mut row = vec![c.to_string()];
         for mode in modes() {
-            let mut r = run_poisson(point(mode, c, measured));
+            let r = run_poisson(point(mode, c, measured));
             row.push(fmt(r.p99_ms(), 1));
             row.push(fmt(r.goodput() * 100.0, 1));
             row.push(fmt(r.cold_rate() * 100.0, 1));
@@ -76,7 +76,7 @@ mod tests {
         // (DHA) holds to ~160 and PT+DHA to ~180.
         let measured = 1_200;
         let at = |mode: PlanMode, c: usize| {
-            let mut r = run_poisson(point(mode, c, measured));
+            let r = run_poisson(point(mode, c, measured));
             (r.p99_ms(), r.goodput())
         };
         let (ps_p99, _) = at(PlanMode::PipeSwitch, 160);

@@ -50,7 +50,7 @@ pub fn run_with(measured: usize) -> Table {
         for c in grid(model) {
             let mut row = vec![model.display_name().to_string(), c.to_string()];
             for mode in [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha] {
-                let mut r = run_poisson(point(model, rate, mode, c, measured));
+                let r = run_poisson(point(model, rate, mode, c, measured));
                 row.push(fmt(r.p99_ms(), 1));
             }
             t.push(row);
@@ -75,8 +75,8 @@ mod tests {
         for (model, rate) in panels() {
             let c = if model == ModelId::Gpt2 { 140 } else { 50 };
             let measured = 900;
-            let mut ps = run_poisson(point(model, rate, PlanMode::PipeSwitch, c, measured));
-            let mut dp = run_poisson(point(model, rate, PlanMode::PtDha, c, measured));
+            let ps = run_poisson(point(model, rate, PlanMode::PipeSwitch, c, measured));
+            let dp = run_poisson(point(model, rate, PlanMode::PtDha, c, measured));
             assert!(
                 dp.p99_ms() <= ps.p99_ms(),
                 "{model}: PT+DHA {:.1} !<= PipeSwitch {:.1}",
@@ -91,8 +91,8 @@ mod tests {
         // Paper: "In GPT-2 the latency gap between DHA and PT+DHA is not
         // noticeable."
         let measured = 900;
-        let mut dha = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::Dha, 40, measured));
-        let mut pt = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::PtDha, 40, measured));
+        let dha = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::Dha, 40, measured));
+        let pt = run_poisson(point(ModelId::Gpt2, 90.0, PlanMode::PtDha, 40, measured));
         let (a, b) = (dha.p99_ms(), pt.p99_ms());
         assert!(
             (a - b).abs() / a.max(b) < 0.35,

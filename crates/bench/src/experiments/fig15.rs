@@ -47,7 +47,7 @@ pub fn run_with(instances: usize, horizon: SimDur, rate: f64, summary_buckets: u
     for mode in [PlanMode::PipeSwitch, PlanMode::Dha, PlanMode::PtDha] {
         let (kinds, instance_kinds) = mix(instances);
         let tr = trace(instances, horizon, rate);
-        let mut r = run_mix(mode, &kinds, instance_kinds, tr);
+        let r = run_mix(mode, &kinds, instance_kinds, tr);
         let series = r.over_time.p99_series();
         let head: Vec<String> = series
             .iter()

@@ -1,14 +1,37 @@
 //! Shared serving-experiment driver for Figures 13/14/15.
+//!
+//! Setting the `DEEPPLAN_TRACE_DIR` environment variable to a directory
+//! makes every Poisson sweep point also dump its observability outputs
+//! there: a Perfetto trace (`*.trace.json`) and a JSONL event log
+//! (`*.events.jsonl`) per run, named after model/mode/concurrency.
 
 use deepplan::{ModelId, PlanMode};
 use dnn_models::zoo::build;
+use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::p3_8xlarge;
 use model_serving::catalog::DeployedModel;
 use model_serving::config::ServerConfig;
 use model_serving::metrics::ServingReport;
-use model_serving::server::run_server;
+use model_serving::server::{run_server, run_server_probed};
 use model_serving::workload::{poisson, Request};
+use simcore::probe::{to_jsonl, to_perfetto, PerfettoOptions, Probe};
 use simcore::time::SimTime;
+
+/// Environment variable selecting the trace-dump directory.
+pub const TRACE_DIR_ENV: &str = "DEEPPLAN_TRACE_DIR";
+
+/// Lowercase filename-safe slug of a display name.
+fn slug(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('-') && !out.is_empty() {
+            out.push('-');
+        }
+    }
+    out.trim_end_matches('-').to_string()
+}
 
 /// Parameters of one Poisson serving run.
 #[derive(Debug, Clone, Copy)]
@@ -47,7 +70,31 @@ pub fn run_poisson(p: SweepPoint) -> ServingReport {
     } else {
         trace[p.warmup - 1].at
     };
-    run_server(cfg, vec![kind], &instance_kinds, trace, measure_from)
+    let trace_dir = std::env::var(TRACE_DIR_ENV).unwrap_or_default();
+    if trace_dir.is_empty() {
+        return run_server(cfg, vec![kind], &instance_kinds, trace, measure_from);
+    }
+    let (probe, log) = Probe::logging();
+    let report = run_server_probed(cfg, vec![kind], &instance_kinds, trace, measure_from, probe);
+    let events = &log.borrow().events;
+    let base = format!(
+        "{trace_dir}/serving_{}_{}_c{}",
+        slug(&p.model.to_string()),
+        slug(&p.mode.to_string()),
+        p.concurrency
+    );
+    let (_, map) = NetMap::build(&machine).expect("valid machine topology");
+    let opts = PerfettoOptions {
+        link_names: map.link_names(),
+    };
+    let _ = std::fs::create_dir_all(&trace_dir);
+    if let Err(e) = std::fs::write(format!("{base}.events.jsonl"), to_jsonl(events)) {
+        eprintln!("warning: could not write {base}.events.jsonl: {e}");
+    }
+    if let Err(e) = std::fs::write(format!("{base}.trace.json"), to_perfetto(events, &opts)) {
+        eprintln!("warning: could not write {base}.trace.json: {e}");
+    }
+    report
 }
 
 /// Runs a pre-built trace over a model mix (Figure 15).

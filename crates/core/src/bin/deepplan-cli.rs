@@ -6,13 +6,19 @@
 //! deepplan-cli profile bert-base [--machine p3|single|a5000] [--batch N]
 //! deepplan-cli plan bert-base [--mode pt+dha] [--budget-mib N] [--json]
 //! deepplan-cli simulate bert-base [--mode pt+dha] [--batch N]
+//! deepplan-cli serve bert-base [--mode pt+dha] [--concurrency N] [--requests N]
+//!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
 //! ```
 
 use deepplan::excerpt::{excerpt, format_excerpt};
 use deepplan::{DeepPlan, ModelId, PlanMode};
 use dnn_models::zoo::catalog;
 use gpu_topology::machine::Machine;
+use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
+use model_serving::{poisson, run_server_probed, DeployedModel, ServerConfig};
+use simcore::probe::{to_jsonl, to_perfetto, PerfettoOptions, Probe};
+use simcore::time::SimTime;
 
 struct Args {
     cmd: String,
@@ -22,13 +28,20 @@ struct Args {
     batch: u32,
     budget_mib: Option<u64>,
     json: bool,
+    concurrency: usize,
+    requests: usize,
+    rate: f64,
+    seed: u64,
+    trace_out: Option<String>,
+    events_out: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: deepplan-cli <models|machines|profile|plan|simulate> [model] \
+        "usage: deepplan-cli <models|machines|profile|plan|simulate|serve> [model] \
          [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
-         [--batch N] [--budget-mib N] [--json]"
+         [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
+         [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE]"
     );
     std::process::exit(2)
 }
@@ -60,6 +73,12 @@ fn parse() -> Args {
         batch: 1,
         budget_mib: None,
         json: false,
+        concurrency: 140,
+        requests: 400,
+        rate: 100.0,
+        seed: 11,
+        trace_out: None,
+        events_out: None,
     };
     let mut it = argv.iter().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -103,6 +122,32 @@ fn parse() -> Args {
                 )
             }
             "--json" => args.json = true,
+            "--concurrency" => {
+                args.concurrency = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--requests" => {
+                args.requests = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--rate" => {
+                args.rate = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--trace-out" => args.trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--events-out" => args.events_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             other => match parse_model(other) {
                 Some(m) => args.model = Some(m),
                 None => {
@@ -208,6 +253,67 @@ fn main() {
                 cold.stall_fraction() * 100.0
             );
             println!("  warm: {:.2} ms", warm.latency().as_ms_f64());
+        }
+        "serve" => {
+            let id = args.model.unwrap_or_else(|| usage());
+            let machine = args.machine.clone();
+            let cfg = ServerConfig::paper_default(machine.clone(), args.mode);
+            let model = dnn_models::zoo::build(id);
+            let kind = DeployedModel::prepare(&model, &machine, args.mode, cfg.max_pt_gpus);
+            let instance_kinds = vec![0usize; args.concurrency];
+            let trace = poisson::generate(
+                args.rate,
+                args.concurrency,
+                args.requests,
+                SimTime::ZERO,
+                args.seed,
+            );
+            let want_probe = args.trace_out.is_some() || args.events_out.is_some();
+            let (probe, log) = if want_probe {
+                let (p, l) = Probe::logging();
+                (p, Some(l))
+            } else {
+                (Probe::disabled(), None)
+            };
+            let report = run_server_probed(
+                cfg,
+                vec![kind],
+                &instance_kinds,
+                trace,
+                SimTime::ZERO,
+                probe,
+            );
+            println!(
+                "{} / {} / {} instance(s), {} request(s) at {:.0} req/s on {}:",
+                id, args.mode, args.concurrency, args.requests, args.rate, machine.name
+            );
+            println!(
+                "  completed {}, cold starts {}, evictions {}",
+                report.completed, report.cold_starts, report.evictions
+            );
+            println!(
+                "  p99 {:.2} ms, goodput {:.1}%, p99 queue wait {:.2} ms",
+                report.p99_ms(),
+                report.goodput() * 100.0,
+                report.p99_queue_wait_ms()
+            );
+            if let Some(log) = log {
+                let events = &log.borrow().events;
+                if let Some(path) = &args.events_out {
+                    std::fs::write(path, to_jsonl(events))
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    println!("  wrote {} event(s) to {path}", events.len());
+                }
+                if let Some(path) = &args.trace_out {
+                    let (_, map) = NetMap::build(&machine).expect("valid machine topology");
+                    let opts = PerfettoOptions {
+                        link_names: map.link_names(),
+                    };
+                    std::fs::write(path, to_perfetto(events, &opts))
+                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    println!("  wrote Perfetto trace to {path}");
+                }
+            }
         }
         _ => usage(),
     }

@@ -71,6 +71,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn efficiencies_are_fractions() {
         assert!(DHA_EFF_GATHER > 0.0 && DHA_EFF_GATHER <= 1.0);
         assert!(DHA_EFF_STREAM > 0.0 && DHA_EFF_STREAM <= 1.0);

@@ -7,6 +7,8 @@ use crate::model::{Model, ModelFamily};
 ///
 /// `blocks` is the number of bottleneck blocks per stage
 /// (`[3,4,6,3]` = ResNet-50, `[3,4,23,3]` = ResNet-101).
+// The stem reads naturally as a sequence of pushes; vec![] would bury it.
+#[allow(clippy::vec_init_then_push)]
 pub fn resnet(name: &str, blocks: [usize; 4]) -> Model {
     let mut layers = Vec::new();
 

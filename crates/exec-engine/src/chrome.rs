@@ -3,51 +3,166 @@
 //! Converts a captured [`Trace`] into the Trace Event Format consumed by
 //! `chrome://tracing` / Perfetto, so pipelines can be inspected
 //! interactively. Streams map to thread lanes, runs to processes.
+//!
+//! Slices keep their identity: execution slices are named `L<layer>` and
+//! every slice carries an `args` object with the layer, GPU, slot and
+//! DHA flag where applicable, rather than collapsing to the ASCII
+//! renderer's busy/stall glyphs.
 
 use serde_json::{json, Value};
 
-use crate::timeline::lanes;
-use crate::trace::Trace;
+use crate::trace::{Trace, TraceKind};
+
+/// Lane ids within one run's process, matching [`crate::timeline::lanes`]
+/// ordering: exec first, then one lane per load slot, then migration.
+const EXEC_TID: u64 = 0;
+
+fn slice(name: &str, start_ns: u64, end_ns: u64, pid: usize, tid: u64, args: Value) -> Value {
+    json!({
+        "name": name,
+        "cat": "deepplan",
+        "ph": "X",
+        "ts": start_ns as f64 / 1e3,
+        "dur": (end_ns - start_ns) as f64 / 1e3,
+        "pid": pid,
+        "tid": tid,
+        "args": args,
+    })
+}
+
+fn thread_name(pid: usize, tid: u64, name: &str) -> Value {
+    json!({
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": json!({ "name": name }),
+    })
+}
 
 /// Serialises `trace` as a Chrome Trace Event Format JSON string.
 ///
 /// One process per run, one thread lane per stream (`exec`, `load s0`,
-/// ...), one complete (`"ph": "X"`) event per busy interval; stall
-/// intervals appear as instant-style slices named `"stall"`.
+/// ...), one complete (`"ph": "X"`) event per interval. Execution slices
+/// are named `L<layer>` with `args.layer` / `args.dha`; load and migrate
+/// slices carry `args.layer` / `args.gpu` / `args.slot`; stalls appear as
+/// slices named `"stall"` on the exec lane.
 pub fn to_chrome_trace(trace: &Trace) -> String {
     let mut events: Vec<Value> = Vec::new();
     let mut runs: Vec<usize> = trace.events.iter().map(|e| e.run).collect();
     runs.sort_unstable();
     runs.dedup();
     for run in runs {
-        for (tid, lane) in lanes(trace, run).into_iter().enumerate() {
-            events.push(json!({
-                "name": "thread_name",
-                "ph": "M",
-                "pid": run,
-                "tid": tid,
-                "args": {"name": lane.label},
-            }));
-            for (start, end, glyph) in lane.intervals {
-                let name = match glyph {
-                    '=' => "dha-exec",
-                    '.' => "stall",
-                    _ => "busy",
-                };
-                events.push(json!({
-                    "name": name,
-                    "cat": "deepplan",
-                    "ph": "X",
-                    "ts": start.as_nanos() as f64 / 1e3,
-                    "dur": (end.as_nanos() - start.as_nanos()) as f64 / 1e3,
-                    "pid": run,
-                    "tid": tid,
-                }));
+        let t = Trace {
+            events: trace.for_run(run),
+        };
+
+        // Lane layout for this run: which load slots appear, any migration.
+        let mut slots: Vec<usize> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::LoadStart { slot, .. } => Some(slot),
+                _ => None,
+            })
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        let load_tid =
+            |slot: usize| EXEC_TID + 1 + slots.iter().position(|&s| s == slot).unwrap() as u64;
+        let migrate_tid = EXEC_TID + 1 + slots.len() as u64;
+        let has_migration = t
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::MigrateStart { .. }));
+
+        events.push(thread_name(run, EXEC_TID, "exec"));
+        for &s in &slots {
+            events.push(thread_name(run, load_tid(s), &format!("load s{s}")));
+        }
+        if has_migration {
+            events.push(thread_name(run, migrate_tid, "migrate"));
+        }
+
+        // Pair starts with ends, keyed by (kind, layer, lane id).
+        let mut open_exec: Option<(usize, u64, bool)> = None;
+        let mut open_load: Vec<(usize, usize, usize, u64)> = Vec::new(); // layer, gpu, slot, start
+        let mut open_mig: Vec<(usize, usize, u64)> = Vec::new(); // layer, from, start
+        for e in &t.events {
+            let at = e.at.as_nanos();
+            match e.kind {
+                TraceKind::ExecStart { layer, dha } => open_exec = Some((layer, at, dha)),
+                TraceKind::ExecEnd { layer } => {
+                    if let Some((l, start, dha)) = open_exec.take() {
+                        if l == layer {
+                            events.push(slice(
+                                &format!("L{layer}"),
+                                start,
+                                at,
+                                run,
+                                EXEC_TID,
+                                json!({ "layer": layer, "dha": dha }),
+                            ));
+                        }
+                    }
+                }
+                TraceKind::StallEnd { layer, ns } => {
+                    let start = at.saturating_sub(ns);
+                    events.push(slice(
+                        "stall",
+                        start,
+                        at,
+                        run,
+                        EXEC_TID,
+                        json!({ "layer": layer, "ns": ns }),
+                    ));
+                }
+                TraceKind::LoadStart { layer, gpu, slot } => {
+                    open_load.push((layer, gpu, slot, at));
+                }
+                TraceKind::LoadEnd { layer, gpu, slot } => {
+                    if let Some(pos) = open_load
+                        .iter()
+                        .position(|&(l, g, s, _)| l == layer && g == gpu && s == slot)
+                    {
+                        let (_, _, _, start) = open_load.swap_remove(pos);
+                        events.push(slice(
+                            &format!("L{layer}"),
+                            start,
+                            at,
+                            run,
+                            load_tid(slot),
+                            json!({ "layer": layer, "gpu": gpu, "slot": slot }),
+                        ));
+                    }
+                }
+                TraceKind::MigrateStart { layer, from } => {
+                    open_mig.push((layer, from, at));
+                }
+                TraceKind::MigrateEnd { layer, from } => {
+                    if let Some(pos) = open_mig
+                        .iter()
+                        .position(|&(l, f, _)| l == layer && f == from)
+                    {
+                        let (_, _, start) = open_mig.swap_remove(pos);
+                        events.push(slice(
+                            &format!("L{layer}"),
+                            start,
+                            at,
+                            run,
+                            migrate_tid,
+                            json!({ "layer": layer, "gpu": from }),
+                        ));
+                    }
+                }
             }
         }
     }
-    serde_json::to_string_pretty(&json!({ "traceEvents": events, "displayTimeUnit": "ms" }))
-        .expect("chrome trace serialises")
+    serde_json::to_string_pretty(&json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ms",
+    }))
+    .expect("chrome trace serialises")
 }
 
 #[cfg(test)]
@@ -65,7 +180,7 @@ mod tests {
                     run: 0,
                     kind: TraceKind::LoadStart {
                         layer: 0,
-                        gpu: 0,
+                        gpu: 2,
                         slot: 0,
                     },
                 },
@@ -74,7 +189,7 @@ mod tests {
                     run: 0,
                     kind: TraceKind::LoadEnd {
                         layer: 0,
-                        gpu: 0,
+                        gpu: 2,
                         slot: 0,
                     },
                 },
@@ -96,14 +211,21 @@ mod tests {
         let out = to_chrome_trace(&trace);
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         let events = v["traceEvents"].as_array().unwrap();
-        // 2 thread-name metadata + 1 load + 1 dha-exec.
+        // 2 thread-name metadata + 1 load + 1 exec slice.
         assert_eq!(events.len(), 4);
-        assert!(events.iter().any(|e| e["name"] == "dha-exec"));
+        // Slices keep layer identity in the name and args.
+        let exec = events
+            .iter()
+            .find(|e| e["name"] == "L0" && e["args"]["dha"] == true)
+            .expect("exec slice with dha flag");
+        assert_eq!(exec["args"]["layer"].as_u64().unwrap(), 0);
         let load = events
             .iter()
-            .find(|e| e["name"] == "busy")
+            .find(|e| e["name"] == "L0" && !e["args"]["slot"].is_null())
             .expect("load interval");
         assert_eq!(load["dur"].as_f64().unwrap(), 1.0); // 1 µs.
+        assert_eq!(load["args"]["gpu"].as_u64().unwrap(), 2);
+        assert_eq!(load["args"]["slot"].as_u64().unwrap(), 0);
     }
 
     #[test]
@@ -111,5 +233,42 @@ mod tests {
         let out = to_chrome_trace(&Trace::default());
         let v: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(v["traceEvents"].as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stall_and_migration_slices_carry_identity() {
+        let trace = Trace {
+            events: vec![
+                TraceEvent {
+                    at: SimTime::from_nanos(0),
+                    run: 1,
+                    kind: TraceKind::MigrateStart { layer: 4, from: 1 },
+                },
+                TraceEvent {
+                    at: SimTime::from_nanos(500),
+                    run: 1,
+                    kind: TraceKind::MigrateEnd { layer: 4, from: 1 },
+                },
+                TraceEvent {
+                    at: SimTime::from_nanos(700),
+                    run: 1,
+                    kind: TraceKind::StallEnd { layer: 4, ns: 200 },
+                },
+            ],
+        };
+        let out = to_chrome_trace(&trace);
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        let events = v["traceEvents"].as_array().unwrap();
+        let mig = events
+            .iter()
+            .find(|e| e["name"] == "L4")
+            .expect("migration slice");
+        assert_eq!(mig["args"]["gpu"].as_u64().unwrap(), 1);
+        let stall = events
+            .iter()
+            .find(|e| e["name"] == "stall")
+            .expect("stall slice");
+        assert_eq!(stall["args"]["layer"].as_u64().unwrap(), 4);
+        assert_eq!(stall["dur"].as_f64().unwrap(), 0.2);
     }
 }

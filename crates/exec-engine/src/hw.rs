@@ -3,6 +3,7 @@
 use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use simcore::driver::{FlowDriver, HasFlowDriver};
+use simcore::probe::Probe;
 use simcore::slab::Slab;
 
 use simcore::time::SimTime;
@@ -34,6 +35,10 @@ pub struct HwState<S: HasHw> {
     /// Optional execution trace (off by default; enable with
     /// [`HwState::enable_tracing`]).
     pub trace: Option<Trace>,
+    /// Observability bus for run-phase events (loads, migrations, exec,
+    /// stalls). Disabled (free) by default; hosts install a recording
+    /// probe to capture engine activity.
+    pub probe: Probe,
     next_gen: u64,
 }
 
@@ -52,6 +57,7 @@ impl<S: HasHw> HwState<S> {
                 map,
                 runs: Slab::new(),
                 trace: None,
+                probe: Probe::disabled(),
                 next_gen: 0,
             },
             FlowDriver::with_net(net),

@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use exec_planner::plan::{ExecutionPlan, LayerExec};
 use simcore::driver::start_flow;
+use simcore::probe::{ProbeEvent, StallCause};
 use simcore::sim::Ctx;
 use simcore::time::{SimDur, SimTime};
 
@@ -164,14 +165,14 @@ pub fn start_inference<S: HasHw>(
     let now = ctx.now();
     let mut ready = vec![false; n];
     let mut loads_pending = 0usize;
-    for i in 0..n {
+    for (i, rdy) in ready.iter_mut().enumerate() {
         let needs_load = spec.plan.decisions[i] == LayerExec::Load
             && spec.rt.layers[i].param_bytes > 0
             && !spec.warm;
         if needs_load {
             loads_pending += 1;
         } else {
-            ready[i] = true;
+            *rdy = true;
         }
     }
     let slots = spec.plan.partitions.len();
@@ -274,6 +275,15 @@ fn load_next<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize, 
                 let hw = state.hw();
                 for &layer in &block {
                     hw.emit(now, r.slot, TraceKind::LoadStart { layer, gpu, slot });
+                    hw.probe.emit(
+                        now,
+                        ProbeEvent::LoadStarted {
+                            run: r.slot,
+                            layer,
+                            gpu,
+                            slot,
+                        },
+                    );
                 }
                 hw.map.host_to_gpu(&hw.machine, gpu)
             };
@@ -285,9 +295,17 @@ fn load_next<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize, 
                 Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
                     let now = ctx.now();
                     for &layer in &block {
-                        state
-                            .hw()
-                            .emit(now, r.slot, TraceKind::LoadEnd { layer, gpu, slot });
+                        let hw = state.hw();
+                        hw.emit(now, r.slot, TraceKind::LoadEnd { layer, gpu, slot });
+                        hw.probe.emit(
+                            now,
+                            ProbeEvent::LoadFinished {
+                                run: r.slot,
+                                layer,
+                                gpu,
+                                slot,
+                            },
+                        );
                         on_load_done(state, ctx, r, slot, layer);
                     }
                     load_next(state, ctx, r, slot, next_pos);
@@ -408,10 +426,19 @@ fn mig_pump<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
             if state.hw().run_mut(r).is_none() {
                 return;
             }
-            state.hw().emit(
+            let hw = state.hw();
+            hw.emit(
                 ctx.now(),
                 r.slot,
                 TraceKind::MigrateStart {
+                    layer: layer_idx,
+                    from: sec,
+                },
+            );
+            hw.probe.emit(
+                ctx.now(),
+                ProbeEvent::MigrateStarted {
+                    run: r.slot,
                     layer: layer_idx,
                     from: sec,
                 },
@@ -425,10 +452,19 @@ fn mig_pump<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
                     if let Some(run) = state.hw().run_mut(r) {
                         run.mig_busy[slot - 1] = false;
                     }
-                    state.hw().emit(
+                    let hw = state.hw();
+                    hw.emit(
                         ctx.now(),
                         r.slot,
                         TraceKind::MigrateEnd {
+                            layer: layer_idx,
+                            from: sec,
+                        },
+                    );
+                    hw.probe.emit(
+                        ctx.now(),
+                        ProbeEvent::MigrateFinished {
+                            run: r.slot,
                             layer: layer_idx,
                             from: sec,
                         },
@@ -444,7 +480,7 @@ fn mig_pump<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
 /// Marks a layer's weights resident on the primary GPU.
 fn mark_ready<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, layer_idx: usize) {
     let now = ctx.now();
-    let (unblock, done, stall_ns) = {
+    let (unblock, done, stall_ns, gpu) = {
         let Some(run) = state.hw().run_mut(r) else {
             return;
         };
@@ -462,14 +498,24 @@ fn mark_ready<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, layer_idx: u
             stall_ns = stall.as_nanos();
         }
         let done = run.spec.skip_exec && run.loads_pending == 0;
-        (unblock, done, stall_ns)
+        (unblock, done, stall_ns, run.current_gpu)
     };
     if unblock {
-        state.hw().emit(
+        let hw = state.hw();
+        hw.emit(
             now,
             r.slot,
             TraceKind::StallEnd {
                 layer: layer_idx,
+                ns: stall_ns,
+            },
+        );
+        hw.probe.emit(
+            now,
+            ProbeEvent::StallEnded {
+                run: r.slot,
+                layer: layer_idx,
+                gpu,
                 ns: stall_ns,
             },
         );
@@ -510,7 +556,11 @@ fn exec_try<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
     let now = ctx.now();
     enum Next {
         Done,
-        Blocked,
+        Blocked {
+            layer: usize,
+            gpu: usize,
+            cause: StallCause,
+        },
         Start,
     }
     let next = {
@@ -521,15 +571,50 @@ fn exec_try<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
             Next::Done
         } else if !gate_open(run) {
             run.blocked_since = Some(now);
-            Next::Blocked
+            Next::Blocked {
+                layer: run.exec_next,
+                gpu: run.current_gpu,
+                cause: stall_cause(run),
+            }
         } else {
             Next::Start
         }
     };
     match next {
         Next::Done => exec_finish(state, ctx, r),
-        Next::Blocked => {}
+        Next::Blocked { layer, gpu, cause } => {
+            state.hw().probe.emit(
+                now,
+                ProbeEvent::StallStarted {
+                    run: r.slot,
+                    layer,
+                    gpu,
+                    cause,
+                },
+            );
+        }
         Next::Start => exec_start_layer(state, ctx, r),
+    }
+}
+
+/// Attributes a just-started stall to its cause: non-pipelined plans wait
+/// on the whole load barrier; pipelined plans wait on the pending layer's
+/// transfer leg — NVLink when the layer lands on a migrating secondary
+/// slot (its readiness is gated on the NVLink forward), PCIe otherwise.
+fn stall_cause<S>(run: &RunState<S>) -> StallCause {
+    if !run.spec.plan.pipelined {
+        return StallCause::Barrier;
+    }
+    let layer = run.exec_next;
+    match run
+        .spec
+        .plan
+        .partitions
+        .iter()
+        .position(|p| p.contains(&layer))
+    {
+        Some(slot) if slot > 0 && slot_gpu(&run.spec, slot).1 => StallCause::NvlinkMigrate,
+        _ => StallCause::PcieLoad,
     }
 }
 
@@ -674,11 +759,21 @@ fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
         run.pending_parts = if wire > 0.0 { 2 } else { 1 };
         (compute, wire, run.current_gpu, i)
     };
-    state.hw().emit(
+    let hw = state.hw();
+    hw.emit(
         now,
         r.slot,
         TraceKind::ExecStart {
             layer: layer_idx,
+            dha: dha_wire > 0.0,
+        },
+    );
+    hw.probe.emit(
+        now,
+        ProbeEvent::ExecStarted {
+            run: r.slot,
+            layer: layer_idx,
+            gpu,
             dha: dha_wire > 0.0,
         },
     );
@@ -713,13 +808,22 @@ fn exec_part_done<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
             run.exec_busy += now - run.layer_started;
             let finished = run.exec_next;
             run.exec_next += 1;
-            Some(finished)
+            Some((finished, run.current_gpu))
         } else {
             None
         }
     };
-    if let Some(layer) = advanced {
-        state.hw().emit(now, r.slot, TraceKind::ExecEnd { layer });
+    if let Some((layer, gpu)) = advanced {
+        let hw = state.hw();
+        hw.emit(now, r.slot, TraceKind::ExecEnd { layer });
+        hw.probe.emit(
+            now,
+            ProbeEvent::ExecFinished {
+                run: r.slot,
+                layer,
+                gpu,
+            },
+        );
         exec_try(state, ctx, r);
     }
 }
@@ -741,6 +845,15 @@ fn complete<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
         .filter(|(_, d)| **d == LayerExec::Load)
         .map(|(l, _)| l.param_bytes)
         .sum();
+    hw.probe.emit(
+        now,
+        ProbeEvent::RunCompleted {
+            run: r.slot,
+            gpu: run.spec.primary,
+            stall_ns: run.stall.as_nanos(),
+            exec_busy_ns: run.exec_busy.as_nanos(),
+        },
+    );
     let result = InferenceResult {
         started: run.started,
         finished: now,

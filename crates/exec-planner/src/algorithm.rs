@@ -144,7 +144,7 @@ mod tests {
         assert_eq!(d[1], LayerExec::Load);
         assert_eq!(d[2], LayerExec::Load);
         // The plan must not be slower than PipeSwitch.
-        let ps = estimate_pipeline(&p, &vec![LayerExec::Load; 3], true);
+        let ps = estimate_pipeline(&p, &[LayerExec::Load; 3], true);
         let dp = estimate_pipeline(&p, &d, true);
         assert!(dp.total < ps.total, "{:?} !< {:?}", dp.total, ps.total);
     }
@@ -200,7 +200,7 @@ mod tests {
                 .collect();
             let p = profile(layers);
             let d = plan_dha(&p);
-            let ps = estimate_pipeline(&p, &vec![LayerExec::Load; 12], true);
+            let ps = estimate_pipeline(&p, &[LayerExec::Load; 12], true);
             let dp = estimate_pipeline(&p, &d, true);
             assert!(
                 dp.total <= ps.total,

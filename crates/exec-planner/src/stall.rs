@@ -152,7 +152,7 @@ mod tests {
             layer("a", 30.0, 10.0, 99.0),
             layer("b", 30.0, 10.0, 99.0),
         ]);
-        let est = estimate_pipeline(&p, &vec![LayerExec::Load; 2], true);
+        let est = estimate_pipeline(&p, &[LayerExec::Load; 2], true);
         // Exec a: waits 30, runs to 40. Layer b ready at 60: stall 20.
         assert_eq!(est.layer_stall[1], SimDur::from_micros(20));
         assert_eq!(est.total, SimDur::from_micros(70));
@@ -165,7 +165,7 @@ mod tests {
             layer("a", 30.0, 10.0, 99.0),
             layer("b", 30.0, 10.0, 99.0),
         ]);
-        let est = estimate_pipeline(&p, &vec![LayerExec::Load; 2], false);
+        let est = estimate_pipeline(&p, &[LayerExec::Load; 2], false);
         assert_eq!(est.total, SimDur::from_micros(80));
         assert_eq!(est.layer_stall[0], SimDur::from_micros(60));
     }

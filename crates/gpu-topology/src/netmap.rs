@@ -73,6 +73,28 @@ impl NetMap {
         ))
     }
 
+    /// Human-readable name per link index, for trace exporters' counter
+    /// tracks. Indexed by `LinkId.0`.
+    pub fn link_names(&self) -> Vec<String> {
+        let count = self.switch_uplink.len() + self.gpu_pcie.len() + self.nvlink.len();
+        let mut names = vec![String::new(); count];
+        let mut set = |id: LinkId, name: String| {
+            if id.0 < names.len() {
+                names[id.0] = name;
+            }
+        };
+        for (sw, &id) in self.switch_uplink.iter().enumerate() {
+            set(id, format!("uplink sw{sw}"));
+        }
+        for (g, &id) in self.gpu_pcie.iter().enumerate() {
+            set(id, format!("pcie gpu{g}"));
+        }
+        for &((a, b), id) in &self.nvlink {
+            set(id, format!("nvlink {a}-{b}"));
+        }
+        names
+    }
+
     /// Link path for a host→GPU transfer.
     pub fn host_to_gpu(&self, machine: &Machine, gpu: usize) -> Vec<LinkId> {
         vec![

@@ -24,5 +24,5 @@ pub mod workload;
 pub use catalog::DeployedModel;
 pub use config::ServerConfig;
 pub use metrics::ServingReport;
-pub use server::run_server;
+pub use server::{run_server, run_server_probed};
 pub use workload::{maf, poisson, Request};

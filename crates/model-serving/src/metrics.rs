@@ -51,7 +51,7 @@ impl ServingReport {
     }
 
     /// 99th-percentile latency in ms.
-    pub fn p99_ms(&mut self) -> f64 {
+    pub fn p99_ms(&self) -> f64 {
         self.latencies.p99()
     }
 
@@ -61,7 +61,7 @@ impl ServingReport {
     }
 
     /// 99th-percentile queue wait in ms.
-    pub fn p99_queue_wait_ms(&mut self) -> f64 {
+    pub fn p99_queue_wait_ms(&self) -> f64 {
         self.queue_wait.p99()
     }
 
@@ -92,7 +92,7 @@ mod tests {
 
     #[test]
     fn empty_report_is_safe() {
-        let mut r = ServingReport::new(SimDur::from_millis(100), SimDur::from_secs(60));
+        let r = ServingReport::new(SimDur::from_millis(100), SimDur::from_secs(60));
         assert_eq!(r.goodput(), 1.0);
         assert_eq!(r.cold_rate(), 0.0);
         assert_eq!(r.p99_ms(), 0.0);

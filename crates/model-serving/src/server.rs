@@ -16,6 +16,7 @@ use exec_engine::hw::{HasHw, HwState};
 use exec_engine::launch::{start_inference, LaunchSpec};
 use gpu_topology::select::pt_group;
 use simcore::driver::{FlowDriver, HasFlowDriver};
+use simcore::probe::{Probe, ProbeEvent};
 use simcore::sim::{Ctx, Sim};
 use simcore::time::SimTime;
 
@@ -27,6 +28,8 @@ use crate::metrics::ServingReport;
 use crate::workload::Request;
 
 struct Queued {
+    /// Request id, unique within the experiment (for request spans).
+    req: u64,
     instance: usize,
     arrival: SimTime,
 }
@@ -45,6 +48,8 @@ pub struct ServerState {
     pending: VecDeque<Request>,
     report: ServingReport,
     measure_from: SimTime,
+    probe: Probe,
+    next_req: u64,
 }
 
 impl HasFlowDriver for ServerState {
@@ -87,7 +92,38 @@ impl ServerState {
             pending: trace.into(),
             report,
             measure_from,
+            probe: Probe::disabled(),
+            next_req: 0,
         }
+    }
+
+    /// Installs `probe` on the server and its embedded engine/network so
+    /// every layer publishes onto the same bus.
+    fn set_probe(&mut self, probe: Probe) {
+        self.hw.probe = probe.clone();
+        self.flows.probe = probe.clone();
+        self.probe = probe;
+    }
+
+    fn emit_queue_depth(&self, at: SimTime, g: usize) {
+        self.probe.emit(
+            at,
+            ProbeEvent::QueueDepth {
+                gpu: g,
+                depth: self.queues[g].len(),
+            },
+        );
+    }
+
+    fn emit_cache(&self, at: SimTime, g: usize) {
+        self.probe.emit(
+            at,
+            ProbeEvent::CacheOccupancy {
+                gpu: g,
+                used_bytes: self.caches[g].used,
+                capacity_bytes: self.caches[g].capacity,
+            },
+        );
     }
 
     /// Pre-places instances round-robin until every cache is full — the
@@ -150,10 +186,22 @@ fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
         Some(g) => g,
         None => s.pick_gpu(),
     };
+    let req_id = s.next_req;
+    s.next_req += 1;
     s.queues[g].push_back(Queued {
+        req: req_id,
         instance: req.instance,
         arrival: ctx.now(),
     });
+    s.probe.emit(
+        ctx.now(),
+        ProbeEvent::RequestEnqueued {
+            req: req_id,
+            instance: req.instance,
+            gpu: g,
+        },
+    );
+    s.emit_queue_depth(ctx.now(), g);
     try_dispatch(s, ctx, g);
 }
 
@@ -171,6 +219,8 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     if let Some(owner) = s.instances[inst_id].gpu() {
         if owner != g {
             s.queues[owner].push_back(q);
+            s.emit_queue_depth(ctx.now(), g);
+            s.emit_queue_depth(ctx.now(), owner);
             try_dispatch(s, ctx, owner);
             // This GPU may still have more queued work.
             try_dispatch(s, ctx, g);
@@ -200,6 +250,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
                 s.report.evictions += victims.len() as u64;
                 s.caches[g].used += bytes;
                 s.instances[inst_id].residency = Residency::Loading(g);
+                s.emit_cache(ctx.now(), g);
             }
             None => {
                 // Cache full of busy instances; retry after the current
@@ -213,6 +264,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     s.busy[g] = true;
     s.instances[inst_id].active += 1;
     s.instances[inst_id].last_used = ctx.now();
+    s.emit_queue_depth(ctx.now(), g);
     if q.arrival >= s.measure_from {
         s.report
             .queue_wait
@@ -238,11 +290,37 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         distributed: false,
     };
     let arrival = q.arrival;
+    let req_id = q.req;
+    let dispatched = ctx.now();
+    // Published before the launch so the span's dispatch precedes the
+    // engine events it causes; the run slot is the one the next insert
+    // will use.
+    s.probe.emit(
+        dispatched,
+        ProbeEvent::RequestDispatched {
+            req: req_id,
+            instance: inst_id,
+            gpu: g,
+            warm,
+            run: s.hw.runs.vacant_key(),
+        },
+    );
     start_inference(
         s,
         ctx,
         spec,
         Box::new(move |s: &mut ServerState, ctx, res| {
+            s.probe.emit(
+                res.finished,
+                ProbeEvent::RequestCompleted {
+                    req: req_id,
+                    instance: inst_id,
+                    gpu: g,
+                    cold: !warm,
+                    latency_ns: (res.finished - arrival).as_nanos(),
+                    queue_wait_ns: (dispatched - arrival).as_nanos(),
+                },
+            );
             on_complete(s, ctx, g, inst_id, warm, arrival, res.finished);
         }),
     );
@@ -290,6 +368,35 @@ pub fn run_server(
     trace: Vec<Request>,
     measure_from: SimTime,
 ) -> ServingReport {
+    run_server_probed(
+        cfg,
+        kinds,
+        instance_kinds,
+        trace,
+        measure_from,
+        Probe::disabled(),
+    )
+}
+
+/// [`run_server`] with an observability probe installed across the
+/// serving layer, execution engine and flow network.
+///
+/// With [`Probe::disabled`] this is exactly `run_server`; with a
+/// recording probe the event log captures request spans, run phases and
+/// counter tracks for the JSONL / Perfetto exporters
+/// ([`simcore::probe::to_jsonl`], [`simcore::probe::to_perfetto`]).
+///
+/// # Panics
+///
+/// Same conditions as [`run_server`].
+pub fn run_server_probed(
+    cfg: ServerConfig,
+    kinds: Vec<DeployedModel>,
+    instance_kinds: &[usize],
+    trace: Vec<Request>,
+    measure_from: SimTime,
+    probe: Probe,
+) -> ServingReport {
     for &k in instance_kinds {
         assert!(k < kinds.len(), "instance references unknown kind {k}");
     }
@@ -310,8 +417,18 @@ pub fn run_server(
         cfg.host_mem_bytes
     );
     let mut state = ServerState::new(cfg, kinds, instance_kinds, trace, measure_from);
+    state.set_probe(probe);
     state.report.host_pinned_bytes = host_pinned;
     state.preload();
+    state
+        .probe
+        .emit(SimTime::ZERO, ProbeEvent::HostPinned { bytes: host_pinned });
+    if state.probe.is_enabled() {
+        for g in 0..state.caches.len() {
+            state.emit_cache(SimTime::ZERO, g);
+            state.emit_queue_depth(SimTime::ZERO, g);
+        }
+    }
     let mut sim = Sim::new(state);
     sim.schedule_at(
         SimTime::ZERO,
@@ -344,7 +461,7 @@ mod tests {
 
     #[test]
     fn low_concurrency_is_all_warm_and_fast() {
-        let mut r = run(PlanMode::PipeSwitch, 40, 500);
+        let r = run(PlanMode::PipeSwitch, 40, 500);
         assert_eq!(r.completed, 500);
         assert_eq!(r.cold_starts, 0, "everything fits in memory");
         let p99 = r.p99_ms();
@@ -354,7 +471,7 @@ mod tests {
 
     #[test]
     fn oversubscription_triggers_cold_starts_and_evictions() {
-        let mut r = run(PlanMode::PipeSwitch, 140, 1_000);
+        let r = run(PlanMode::PipeSwitch, 140, 1_000);
         assert_eq!(r.completed, 1_000);
         assert!(r.cold_starts > 50, "cold starts {}", r.cold_starts);
         assert!(r.evictions > 0);
@@ -365,8 +482,8 @@ mod tests {
     fn deepplan_beats_pipeswitch_when_oversubscribed() {
         // Figure 13 at concurrency 140: PipeSwitch's p99 blows past the
         // SLO while DeepPlan (PT+DHA) stays low.
-        let mut ps = run(PlanMode::PipeSwitch, 150, 1_500);
-        let mut dp = run(PlanMode::PtDha, 150, 1_500);
+        let ps = run(PlanMode::PipeSwitch, 150, 1_500);
+        let dp = run(PlanMode::PtDha, 150, 1_500);
         assert!(
             dp.p99_ms() < ps.p99_ms(),
             "PT+DHA p99 {:.1} !< PipeSwitch p99 {:.1}",
@@ -380,7 +497,7 @@ mod tests {
 
     #[test]
     fn all_requests_complete_under_heavy_load() {
-        let mut r = run(PlanMode::Dha, 200, 2_000);
+        let r = run(PlanMode::Dha, 200, 2_000);
         assert_eq!(r.completed, 2_000);
         assert!(r.p99_ms() > 0.0);
     }

@@ -25,7 +25,7 @@ pub fn generate(
     let mut t = start;
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
-        t = t + exp_gap(&mut rng, rate_per_sec);
+        t += exp_gap(&mut rng, rate_per_sec);
         out.push(Request {
             at: t,
             instance: pick_index(&mut rng, instances),
@@ -46,7 +46,7 @@ mod tests {
         // 10k requests at 100 rps ≈ 100 s.
         assert!((span - 100.0).abs() < 5.0, "span {span}");
         // Every instance sees traffic.
-        let mut seen = vec![false; 10];
+        let mut seen = [false; 10];
         for r in &reqs {
             seen[r.instance] = true;
         }

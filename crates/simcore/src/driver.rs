@@ -10,22 +10,32 @@
 use std::collections::HashMap;
 
 use crate::flow::{FlowId, FlowNet, LinkId};
+use crate::probe::{Probe, ProbeEvent};
 use crate::sim::{Ctx, EventFn};
+use crate::time::SimTime;
 
 /// A [`FlowNet`] wired into the simulator with completion callbacks.
 pub struct FlowDriver<S> {
     /// The underlying network; exposed for setup and statistics.
     pub net: FlowNet,
+    /// Observability bus; emits per-link bandwidth-share counters after
+    /// every rate change. Disabled (free) by default.
+    pub probe: Probe,
     gen: u64,
     callbacks: HashMap<u64, EventFn<S>>,
+    /// Links that carried flows at the last probe emission, so idle
+    /// transitions publish a zero sample closing the counter track.
+    link_busy: Vec<bool>,
 }
 
 impl<S> Default for FlowDriver<S> {
     fn default() -> Self {
         FlowDriver {
             net: FlowNet::new(),
+            probe: Probe::disabled(),
             gen: 0,
             callbacks: HashMap::new(),
+            link_busy: Vec::new(),
         }
     }
 }
@@ -40,9 +50,42 @@ impl<S> FlowDriver<S> {
     pub fn with_net(net: FlowNet) -> Self {
         FlowDriver {
             net,
-            gen: 0,
-            callbacks: HashMap::new(),
+            ..Self::default()
         }
+    }
+
+    /// Publishes per-link bandwidth shares, plus zero samples for links
+    /// that just went idle. No-op when the probe is disabled.
+    fn emit_link_shares(&mut self, now: SimTime) {
+        if !self.probe.is_enabled() {
+            return;
+        }
+        let loads = self.net.link_loads();
+        let mut busy = vec![false; self.net.link_count()];
+        for &(link, rate_bps, flows) in &loads {
+            busy[link] = true;
+            self.probe.emit(
+                now,
+                ProbeEvent::LinkShare {
+                    link,
+                    rate_bps,
+                    flows,
+                },
+            );
+        }
+        for (link, (&was, &is)) in self.link_busy.iter().zip(busy.iter()).enumerate() {
+            if was && !is {
+                self.probe.emit(
+                    now,
+                    ProbeEvent::LinkShare {
+                        link,
+                        rate_bps: 0.0,
+                        flows: 0,
+                    },
+                );
+            }
+        }
+        self.link_busy = busy;
     }
 }
 
@@ -73,6 +116,7 @@ pub fn start_flow<S: HasFlowDriver>(
     let id = d.net.add_flow(bytes, path);
     d.callbacks.insert(id.0, on_done);
     d.gen += 1;
+    d.emit_link_shares(now);
     fire_completions(state, ctx);
     reschedule_tick(state, ctx);
     id
@@ -108,6 +152,7 @@ fn reschedule_tick<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>) {
             let d = state.flow_driver();
             d.net.advance(now);
             d.gen += 1;
+            d.emit_link_shares(now);
             fire_completions(state, ctx);
             reschedule_tick(state, ctx);
         }),

@@ -104,6 +104,27 @@ impl FlowNet {
         self.links[link.0].capacity
     }
 
+    /// Per-link aggregate load: `(link index, total rate in bytes/sec,
+    /// flow count)` for every link crossed by at least one active flow.
+    ///
+    /// Rates reflect the current max-min-fair allocation, so the probe
+    /// layer can publish bandwidth-share counter tracks after each
+    /// rate-changing mutation.
+    pub fn link_loads(&self) -> Vec<(usize, f64, usize)> {
+        let mut rate = vec![0.0f64; self.links.len()];
+        let mut count = vec![0usize; self.links.len()];
+        for f in &self.flows {
+            for l in &f.path {
+                rate[l.0] += f.rate;
+                count[l.0] += 1;
+            }
+        }
+        (0..self.links.len())
+            .filter(|&i| count[i] > 0)
+            .map(|i| (i, rate[i], count[i]))
+            .collect()
+    }
+
     /// Starts a flow of `bytes` across `path` and returns its id.
     ///
     /// A flow with no remaining bytes (or an empty path) completes at the
@@ -243,8 +264,8 @@ impl FlowNet {
             }
             // Freeze every unfrozen flow crossing a bottleneck at `share`.
             let mut froze_any = false;
-            for fi in 0..n {
-                if frozen[fi] {
+            for (fi, frz) in frozen.iter_mut().enumerate() {
+                if *frz {
                     continue;
                 }
                 let is_bottlenecked = self.flows[fi].path.iter().any(|l| {
@@ -252,7 +273,7 @@ impl FlowNet {
                         && (residual[l.0] / unfrozen_per_link[l.0] as f64) <= share * (1.0 + 1e-12)
                 });
                 if is_bottlenecked {
-                    frozen[fi] = true;
+                    *frz = true;
                     froze_any = true;
                     remaining_flows -= 1;
                     self.flows[fi].rate = share;
@@ -264,9 +285,9 @@ impl FlowNet {
             }
             if !froze_any {
                 // Numerical safety valve: freeze everything at `share`.
-                for fi in 0..n {
-                    if !frozen[fi] {
-                        frozen[fi] = true;
+                for (fi, frz) in frozen.iter_mut().enumerate() {
+                    if !*frz {
+                        *frz = true;
                         remaining_flows -= 1;
                         self.flows[fi].rate = share;
                     }

@@ -13,12 +13,15 @@
 //! * [`slab`] — a tiny generational-free slab allocator for run bookkeeping.
 //! * [`rng`] — seeded random-variate helpers (exponential, Poisson process).
 //! * [`stats`] — summary statistics, percentiles and time-series bucketing.
+//! * [`probe`] — the observability event bus ([`Probe`], [`probe::EventLog`])
+//!   with Perfetto and JSONL exporters.
 //!
 //! All simulation state is deterministic: no wall-clock reads and no OS
 //! randomness. Identical inputs replay identical schedules bit-for-bit.
 
 pub mod driver;
 pub mod flow;
+pub mod probe;
 pub mod rng;
 pub mod sim;
 pub mod slab;
@@ -27,6 +30,7 @@ pub mod time;
 
 pub use driver::{start_flow, FlowDriver, HasFlowDriver};
 pub use flow::{FlowId, FlowNet, LinkId};
+pub use probe::{Probe, ProbeEvent, StallCause};
 pub use sim::{Ctx, EventFn, Sim};
 pub use slab::Slab;
 pub use time::{SimDur, SimTime};

@@ -1,0 +1,894 @@
+//! Sim-wide observability: event bus, request spans and counter tracks.
+//!
+//! A [`Probe`] is a cheap cloneable handle that simulation components
+//! (the flow network driver, the execution engine, the serving server)
+//! use to publish [`ProbeEvent`]s to an optional [`EventSink`]. The
+//! default probe is disabled: emitting through it is a branch on an
+//! `Option` and constructs nothing, so instrumented hot paths cost
+//! nothing when observability is off.
+//!
+//! Events cover three views of one run:
+//!
+//! * **Request spans** — enqueue → dispatch → complete per serving
+//!   request, with the run slot as a causal link to engine activity.
+//! * **Run phases** — load / migrate / exec / stall intervals per run,
+//!   with stalls attributed to a [`StallCause`].
+//! * **Counter tracks** — per-GPU queue depth and cache occupancy,
+//!   per-link max-min-fair bandwidth share, pinned host bytes.
+//!
+//! Two exporters turn a recorded [`EventLog`] into files:
+//! [`to_jsonl`] (one event per line, deterministic byte-for-byte across
+//! identical runs) and [`to_perfetto`] (Chrome Trace Event Format, loads
+//! in `chrome://tracing` / Perfetto with lanes, counters and flow
+//! arrows from dispatch to first kernel).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::time::SimTime;
+
+/// Why an execution stream is stalled waiting for a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallCause {
+    /// Non-pipelined plan: execution waits for the whole load barrier.
+    Barrier,
+    /// Waiting on the primary GPU's PCIe (or DHA) transfer.
+    PcieLoad,
+    /// Waiting on a parallel-transmission partition's NVLink migration.
+    NvlinkMigrate,
+}
+
+impl StallCause {
+    /// Stable lowercase label used by both exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StallCause::Barrier => "barrier",
+            StallCause::PcieLoad => "pcie-load",
+            StallCause::NvlinkMigrate => "nvlink-migrate",
+        }
+    }
+}
+
+/// One observation published on the event bus. All payloads are `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeEvent {
+    /// A request joined GPU `gpu`'s queue.
+    RequestEnqueued {
+        /// Request id, unique within a serving run.
+        req: u64,
+        /// Model instance the request targets.
+        instance: usize,
+        /// GPU queue it was routed to.
+        gpu: usize,
+    },
+    /// A request left the queue and started an inference run.
+    RequestDispatched {
+        /// Request id.
+        req: u64,
+        /// Model instance.
+        instance: usize,
+        /// Executing GPU.
+        gpu: usize,
+        /// Whether the instance was resident (no cold start).
+        warm: bool,
+        /// Run slot in the engine — the causal parent of engine events.
+        run: usize,
+    },
+    /// A request's inference finished.
+    RequestCompleted {
+        /// Request id.
+        req: u64,
+        /// Model instance.
+        instance: usize,
+        /// Executing GPU.
+        gpu: usize,
+        /// Whether this was a cold start.
+        cold: bool,
+        /// End-to-end latency (arrival → finish) in nanoseconds.
+        latency_ns: u64,
+        /// Queueing component of the latency in nanoseconds.
+        queue_wait_ns: u64,
+    },
+    /// A layer kernel started on `gpu`.
+    ExecStarted {
+        /// Run slot.
+        run: usize,
+        /// Layer index (or merged warm step).
+        layer: usize,
+        /// Executing GPU.
+        gpu: usize,
+        /// Whether the layer executes by direct host access.
+        dha: bool,
+    },
+    /// A layer kernel finished.
+    ExecFinished {
+        /// Run slot.
+        run: usize,
+        /// Layer index.
+        layer: usize,
+        /// Executing GPU.
+        gpu: usize,
+    },
+    /// A layer's host→GPU copy started.
+    LoadStarted {
+        /// Run slot.
+        run: usize,
+        /// Layer index.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Plan partition slot performing the load.
+        slot: usize,
+    },
+    /// A layer's host→GPU copy finished.
+    LoadFinished {
+        /// Run slot.
+        run: usize,
+        /// Layer index.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Plan partition slot.
+        slot: usize,
+    },
+    /// A layer's NVLink migration to the primary started.
+    MigrateStarted {
+        /// Run slot.
+        run: usize,
+        /// Layer index.
+        layer: usize,
+        /// Source (secondary) GPU.
+        from: usize,
+    },
+    /// A layer's NVLink migration finished.
+    MigrateFinished {
+        /// Run slot.
+        run: usize,
+        /// Layer index.
+        layer: usize,
+        /// Source GPU.
+        from: usize,
+    },
+    /// Execution blocked waiting for `layer`.
+    StallStarted {
+        /// Run slot.
+        run: usize,
+        /// Layer being waited for.
+        layer: usize,
+        /// Stalled GPU.
+        gpu: usize,
+        /// Attributed cause.
+        cause: StallCause,
+    },
+    /// Execution unblocked; `ns` is the stall duration.
+    StallEnded {
+        /// Run slot.
+        run: usize,
+        /// Layer that became ready.
+        layer: usize,
+        /// Previously stalled GPU.
+        gpu: usize,
+        /// Stall duration in nanoseconds.
+        ns: u64,
+    },
+    /// An inference run finished and freed its slot.
+    RunCompleted {
+        /// Run slot (may be reused by later runs).
+        run: usize,
+        /// Primary GPU.
+        gpu: usize,
+        /// Accumulated exec-side stall in nanoseconds.
+        stall_ns: u64,
+        /// Busy kernel time in nanoseconds.
+        exec_busy_ns: u64,
+    },
+    /// Counter: requests queued on `gpu` (excluding the one running).
+    QueueDepth {
+        /// GPU index.
+        gpu: usize,
+        /// Queue length after the change.
+        depth: usize,
+    },
+    /// Counter: model-cache occupancy of `gpu`.
+    CacheOccupancy {
+        /// GPU index.
+        gpu: usize,
+        /// Bytes used.
+        used_bytes: u64,
+        /// Cache capacity in bytes.
+        capacity_bytes: u64,
+    },
+    /// Counter: pinned host memory held by the model store.
+    HostPinned {
+        /// Pinned bytes.
+        bytes: u64,
+    },
+    /// Counter: aggregate max-min-fair share currently on a link.
+    LinkShare {
+        /// Link index in the flow network.
+        link: usize,
+        /// Sum of flow rates crossing the link, bytes/sec.
+        rate_bps: f64,
+        /// Number of flows crossing the link.
+        flows: usize,
+    },
+}
+
+/// A timestamped [`ProbeEvent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulated time of the observation.
+    pub at: SimTime,
+    /// The observation.
+    pub what: ProbeEvent,
+}
+
+/// Receives events published through a [`Probe`].
+pub trait EventSink {
+    /// Records one event. Called in simulated-time order per producer.
+    fn record(&mut self, at: SimTime, what: ProbeEvent);
+}
+
+/// The canonical recording sink: an append-only in-memory log.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    /// Recorded events in emission order.
+    pub events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl EventSink for EventLog {
+    fn record(&mut self, at: SimTime, what: ProbeEvent) {
+        self.events.push(Event { at, what });
+    }
+}
+
+/// A cloneable handle onto an optional [`EventSink`].
+///
+/// The default (disabled) probe drops every emission without
+/// constructing anything. Clones share the same sink.
+#[derive(Clone, Default)]
+pub struct Probe {
+    sink: Option<Rc<RefCell<dyn EventSink>>>,
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe")
+            .field("enabled", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl Probe {
+    /// A probe that drops all events (the default).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// A probe recording into a fresh [`EventLog`]; returns both.
+    pub fn logging() -> (Self, Rc<RefCell<EventLog>>) {
+        let log = Rc::new(RefCell::new(EventLog::new()));
+        let probe = Probe {
+            sink: Some(log.clone() as Rc<RefCell<dyn EventSink>>),
+        };
+        (probe, log)
+    }
+
+    /// A probe publishing into an arbitrary sink.
+    pub fn with_sink(sink: Rc<RefCell<dyn EventSink>>) -> Self {
+        Probe { sink: Some(sink) }
+    }
+
+    /// Whether a sink is attached. Producers may use this to skip
+    /// event preparation that is itself costly.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Publishes one event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, at: SimTime, what: ProbeEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(at, what);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSONL exporter
+// ---------------------------------------------------------------------------
+
+/// Serialises events as JSON Lines: one object per event, fixed key
+/// order, integer nanosecond timestamps. Identical simulations produce
+/// byte-identical output.
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for e in events {
+        jsonl_line(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+fn jsonl_line(out: &mut String, e: &Event) {
+    use std::fmt::Write;
+    let at = e.at.as_nanos();
+    match e.what {
+        ProbeEvent::RequestEnqueued { req, instance, gpu } => write!(
+            out,
+            r#"{{"at":{at},"ev":"request_enqueued","req":{req},"instance":{instance},"gpu":{gpu}}}"#
+        ),
+        ProbeEvent::RequestDispatched {
+            req,
+            instance,
+            gpu,
+            warm,
+            run,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"request_dispatched","req":{req},"instance":{instance},"gpu":{gpu},"warm":{warm},"run":{run}}}"#
+        ),
+        ProbeEvent::RequestCompleted {
+            req,
+            instance,
+            gpu,
+            cold,
+            latency_ns,
+            queue_wait_ns,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"request_completed","req":{req},"instance":{instance},"gpu":{gpu},"cold":{cold},"latency_ns":{latency_ns},"queue_wait_ns":{queue_wait_ns}}}"#
+        ),
+        ProbeEvent::ExecStarted {
+            run,
+            layer,
+            gpu,
+            dha,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"exec_started","run":{run},"layer":{layer},"gpu":{gpu},"dha":{dha}}}"#
+        ),
+        ProbeEvent::ExecFinished { run, layer, gpu } => write!(
+            out,
+            r#"{{"at":{at},"ev":"exec_finished","run":{run},"layer":{layer},"gpu":{gpu}}}"#
+        ),
+        ProbeEvent::LoadStarted {
+            run,
+            layer,
+            gpu,
+            slot,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"load_started","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+        ),
+        ProbeEvent::LoadFinished {
+            run,
+            layer,
+            gpu,
+            slot,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"load_finished","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+        ),
+        ProbeEvent::MigrateStarted { run, layer, from } => write!(
+            out,
+            r#"{{"at":{at},"ev":"migrate_started","run":{run},"layer":{layer},"from":{from}}}"#
+        ),
+        ProbeEvent::MigrateFinished { run, layer, from } => write!(
+            out,
+            r#"{{"at":{at},"ev":"migrate_finished","run":{run},"layer":{layer},"from":{from}}}"#
+        ),
+        ProbeEvent::StallStarted {
+            run,
+            layer,
+            gpu,
+            cause,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"stall_started","run":{run},"layer":{layer},"gpu":{gpu},"cause":"{}"}}"#,
+            cause.as_str()
+        ),
+        ProbeEvent::StallEnded {
+            run,
+            layer,
+            gpu,
+            ns,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"stall_ended","run":{run},"layer":{layer},"gpu":{gpu},"ns":{ns}}}"#
+        ),
+        ProbeEvent::RunCompleted {
+            run,
+            gpu,
+            stall_ns,
+            exec_busy_ns,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"run_completed","run":{run},"gpu":{gpu},"stall_ns":{stall_ns},"exec_busy_ns":{exec_busy_ns}}}"#
+        ),
+        ProbeEvent::QueueDepth { gpu, depth } => write!(
+            out,
+            r#"{{"at":{at},"ev":"queue_depth","gpu":{gpu},"depth":{depth}}}"#
+        ),
+        ProbeEvent::CacheOccupancy {
+            gpu,
+            used_bytes,
+            capacity_bytes,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"cache_occupancy","gpu":{gpu},"used_bytes":{used_bytes},"capacity_bytes":{capacity_bytes}}}"#
+        ),
+        ProbeEvent::HostPinned { bytes } => write!(
+            out,
+            r#"{{"at":{at},"ev":"host_pinned","bytes":{bytes}}}"#
+        ),
+        ProbeEvent::LinkShare {
+            link,
+            rate_bps,
+            flows,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"link_share","link":{link},"rate_bps":{rate_bps:?},"flows":{flows}}}"#
+        ),
+    }
+    .expect("writing to String cannot fail");
+}
+
+// ---------------------------------------------------------------------------
+// Perfetto / Chrome Trace Event Format exporter
+// ---------------------------------------------------------------------------
+
+/// Presentation options for [`to_perfetto`].
+#[derive(Debug, Clone, Default)]
+pub struct PerfettoOptions {
+    /// Human-readable names per link index; links beyond the list fall
+    /// back to `link<i>`.
+    pub link_names: Vec<String>,
+}
+
+const PID_SERVING: u64 = 0;
+const PID_ENGINE: u64 = 1;
+const TID_LOAD_BASE: u64 = 100;
+const TID_MIGRATE_BASE: u64 = 200;
+
+/// Serialises events as a Chrome Trace Event Format JSON document.
+///
+/// Layout:
+///
+/// * process 0 "serving" — one thread per GPU carrying async request
+///   spans (`b`/`e`, id = request), plus all counter tracks
+///   (`queue depth gpu<g>`, `cache gpu<g>`, `host pinned`, one per
+///   link for bandwidth share);
+/// * process 1 "engine" — per-GPU `exec` lanes (layer slices and
+///   `stall` slices whose `args.cause` names the attributed cause),
+///   per-GPU `load` lanes and per-GPU `nvlink out` lanes;
+/// * flow arrows (`s` → `f`, id = request) from each dispatch to the
+///   run's first kernel, tying serving spans to engine activity.
+pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
+    let mut body: Vec<String> = Vec::with_capacity(events.len() + 16);
+    // (pid, tid) lanes seen, for thread_name metadata.
+    let mut lanes: Vec<(u64, u64, String)> = Vec::new();
+    let lane = |lanes: &mut Vec<(u64, u64, String)>, pid: u64, tid: u64, name: String| {
+        if !lanes.iter().any(|(p, t, _)| *p == pid && *t == tid) {
+            lanes.push((pid, tid, name));
+        }
+    };
+    // run slot → request id, for flow arrows; cleared on first exec.
+    let mut run_req: Vec<(usize, u64)> = Vec::new();
+
+    for e in events {
+        let us = e.at.as_nanos() as f64 / 1e3;
+        match e.what {
+            ProbeEvent::RequestEnqueued { req, instance, gpu } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"req{req}","cat":"request","ph":"b","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"instance":{instance}}}}}"#
+                ));
+            }
+            ProbeEvent::RequestDispatched {
+                req,
+                instance,
+                gpu,
+                warm,
+                run,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"dispatch","cat":"request","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"instance":{instance},"warm":{warm},"run":{run}}}}}"#
+                ));
+                body.push(format!(
+                    r#"{{"name":"req{req}","cat":"flow","ph":"s","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":{gpu}}}"#
+                ));
+                run_req.retain(|(r, _)| *r != run);
+                run_req.push((run, req));
+            }
+            ProbeEvent::RequestCompleted {
+                req,
+                instance: _,
+                gpu,
+                cold,
+                latency_ns,
+                queue_wait_ns,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"req{req}","cat":"request","ph":"e","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"cold":{cold},"latency_ms":{:?},"queue_wait_ms":{:?}}}}}"#,
+                    latency_ns as f64 / 1e6,
+                    queue_wait_ns as f64 / 1e6
+                ));
+            }
+            ProbeEvent::ExecStarted {
+                run,
+                layer,
+                gpu,
+                dha,
+            } => {
+                lane(&mut lanes, PID_ENGINE, gpu as u64, format!("gpu{gpu} exec"));
+                if let Some(pos) = run_req.iter().position(|(r, _)| *r == run) {
+                    let (_, req) = run_req.swap_remove(pos);
+                    body.push(format!(
+                        r#"{{"name":"req{req}","cat":"flow","ph":"f","bp":"e","id":{req},"ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu}}}"#
+                    ));
+                }
+                body.push(format!(
+                    r#"{{"name":"L{layer}","cat":"exec","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run},"layer":{layer},"dha":{dha}}}}}"#
+                ));
+            }
+            ProbeEvent::ExecFinished {
+                run: _,
+                layer: _,
+                gpu,
+            } => {
+                body.push(format!(
+                    r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu}}}"#
+                ));
+            }
+            ProbeEvent::StallStarted {
+                run,
+                layer,
+                gpu,
+                cause,
+            } => {
+                lane(&mut lanes, PID_ENGINE, gpu as u64, format!("gpu{gpu} exec"));
+                body.push(format!(
+                    r#"{{"name":"stall","cat":"stall","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run},"layer":{layer},"cause":"{}"}}}}"#,
+                    cause.as_str()
+                ));
+            }
+            ProbeEvent::StallEnded {
+                run: _,
+                layer: _,
+                gpu,
+                ns: _,
+            } => {
+                body.push(format!(
+                    r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu}}}"#
+                ));
+            }
+            ProbeEvent::LoadStarted {
+                run,
+                layer,
+                gpu,
+                slot,
+            } => {
+                let tid = TID_LOAD_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} load"));
+                body.push(format!(
+                    r#"{{"name":"L{layer}","cat":"load","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"slot":{slot}}}}}"#
+                ));
+            }
+            ProbeEvent::LoadFinished {
+                run: _,
+                layer: _,
+                gpu,
+                slot: _,
+            } => {
+                let tid = TID_LOAD_BASE + gpu as u64;
+                body.push(format!(
+                    r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid}}}"#
+                ));
+            }
+            ProbeEvent::MigrateStarted { run, layer, from } => {
+                let tid = TID_MIGRATE_BASE + from as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{from} nvlink out"));
+                body.push(format!(
+                    r#"{{"name":"L{layer}","cat":"migrate","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"from":{from}}}}}"#
+                ));
+            }
+            ProbeEvent::MigrateFinished {
+                run: _,
+                layer: _,
+                from,
+            } => {
+                let tid = TID_MIGRATE_BASE + from as u64;
+                body.push(format!(
+                    r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid}}}"#
+                ));
+            }
+            ProbeEvent::RunCompleted {
+                run,
+                gpu,
+                stall_ns,
+                exec_busy_ns,
+            } => {
+                run_req.retain(|(r, _)| *r != run);
+                body.push(format!(
+                    r#"{{"name":"run done","cat":"exec","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run},"stall_ns":{stall_ns},"exec_busy_ns":{exec_busy_ns}}}}}"#
+                ));
+            }
+            ProbeEvent::QueueDepth { gpu, depth } => {
+                body.push(format!(
+                    r#"{{"name":"queue depth gpu{gpu}","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"depth":{depth}}}}}"#
+                ));
+            }
+            ProbeEvent::CacheOccupancy {
+                gpu,
+                used_bytes,
+                capacity_bytes: _,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"cache gpu{gpu}","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"used_mib":{:?}}}}}"#,
+                    used_bytes as f64 / (1u64 << 20) as f64
+                ));
+            }
+            ProbeEvent::HostPinned { bytes } => {
+                body.push(format!(
+                    r#"{{"name":"host pinned","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"mib":{:?}}}}}"#,
+                    bytes as f64 / (1u64 << 20) as f64
+                ));
+            }
+            ProbeEvent::LinkShare {
+                link,
+                rate_bps,
+                flows,
+            } => {
+                let label = opts
+                    .link_names
+                    .get(link)
+                    .cloned()
+                    .unwrap_or_else(|| format!("link{link}"));
+                body.push(format!(
+                    r#"{{"name":"bw {}","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"gbps":{:?},"flows":{flows}}}}}"#,
+                    escape(&label),
+                    rate_bps / 1e9
+                ));
+            }
+        }
+    }
+
+    let mut head: Vec<String> = vec![
+        format!(
+            r#"{{"name":"process_name","ph":"M","pid":{PID_SERVING},"args":{{"name":"serving"}}}}"#
+        ),
+        format!(
+            r#"{{"name":"process_name","ph":"M","pid":{PID_ENGINE},"args":{{"name":"engine"}}}}"#
+        ),
+    ];
+    lanes.sort_by_key(|&(pid, tid, _)| (pid, tid));
+    for (pid, tid, name) in lanes {
+        head.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            escape(&name)
+        ));
+    }
+    head.extend(body);
+    let mut out = String::with_capacity(head.iter().map(|s| s.len() + 4).sum::<usize>() + 64);
+    out.push_str("{\"traceEvents\":[\n");
+    for (i, line) in head.iter().enumerate() {
+        out.push_str(line);
+        if i + 1 < head.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ns: u64) -> SimTime {
+        SimTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn disabled_probe_drops_events() {
+        let p = Probe::disabled();
+        assert!(!p.is_enabled());
+        p.emit(
+            t(1),
+            ProbeEvent::HostPinned { bytes: 42 }, // silently dropped
+        );
+    }
+
+    #[test]
+    fn logging_probe_records_in_order() {
+        let (p, log) = Probe::logging();
+        assert!(p.is_enabled());
+        let p2 = p.clone();
+        p.emit(t(1), ProbeEvent::QueueDepth { gpu: 0, depth: 1 });
+        p2.emit(t(2), ProbeEvent::QueueDepth { gpu: 0, depth: 0 });
+        let log = log.borrow();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events[0].at, t(1));
+        assert_eq!(
+            log.events[1].what,
+            ProbeEvent::QueueDepth { gpu: 0, depth: 0 }
+        );
+    }
+
+    #[test]
+    fn jsonl_is_one_valid_object_per_line() {
+        let events = vec![
+            Event {
+                at: t(5),
+                what: ProbeEvent::RequestEnqueued {
+                    req: 1,
+                    instance: 3,
+                    gpu: 0,
+                },
+            },
+            Event {
+                at: t(9),
+                what: ProbeEvent::StallStarted {
+                    run: 0,
+                    layer: 2,
+                    gpu: 0,
+                    cause: StallCause::NvlinkMigrate,
+                },
+            },
+            Event {
+                at: t(11),
+                what: ProbeEvent::LinkShare {
+                    link: 2,
+                    rate_bps: 6.0e9,
+                    flows: 2,
+                },
+            },
+        ];
+        let out = to_jsonl(&events);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+            assert!(v["at"].as_u64().is_some());
+            assert!(v["ev"].as_str().is_some());
+        }
+        assert!(lines[1].contains(r#""cause":"nvlink-migrate""#));
+    }
+
+    #[test]
+    fn perfetto_has_metadata_counters_and_flow_arrows() {
+        let events = vec![
+            Event {
+                at: t(0),
+                what: ProbeEvent::RequestEnqueued {
+                    req: 7,
+                    instance: 0,
+                    gpu: 1,
+                },
+            },
+            Event {
+                at: t(10),
+                what: ProbeEvent::RequestDispatched {
+                    req: 7,
+                    instance: 0,
+                    gpu: 1,
+                    warm: false,
+                    run: 0,
+                },
+            },
+            Event {
+                at: t(20),
+                what: ProbeEvent::ExecStarted {
+                    run: 0,
+                    layer: 0,
+                    gpu: 1,
+                    dha: true,
+                },
+            },
+            Event {
+                at: t(30),
+                what: ProbeEvent::ExecFinished {
+                    run: 0,
+                    layer: 0,
+                    gpu: 1,
+                },
+            },
+            Event {
+                at: t(30),
+                what: ProbeEvent::QueueDepth { gpu: 1, depth: 0 },
+            },
+            Event {
+                at: t(30),
+                what: ProbeEvent::LinkShare {
+                    link: 0,
+                    rate_bps: 1.2e10,
+                    flows: 1,
+                },
+            },
+        ];
+        let opts = PerfettoOptions {
+            link_names: vec!["pcie gpu0".to_string()],
+        };
+        let out = to_perfetto(&events, &opts);
+        let v: serde_json::Value = serde_json::from_str(&out).expect("document parses");
+        let evs = v["traceEvents"].as_array().unwrap();
+        // Process + thread metadata present.
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "process_name" && e["args"]["name"] == "engine"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "thread_name" && e["args"]["name"] == "gpu1 requests"));
+        // Flow arrow start and finish share the request id.
+        let s = evs.iter().find(|e| e["ph"] == "s").expect("flow start");
+        let f = evs.iter().find(|e| e["ph"] == "f").expect("flow finish");
+        assert_eq!(s["id"].as_u64(), f["id"].as_u64());
+        // Counters use named tracks.
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "queue depth gpu1"));
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "bw pcie gpu0"));
+    }
+
+    #[test]
+    fn jsonl_is_deterministic_for_equal_logs() {
+        let mk = || {
+            vec![Event {
+                at: t(3),
+                what: ProbeEvent::LinkShare {
+                    link: 1,
+                    rate_bps: 0.1 + 0.2, // float noise must format identically
+                    flows: 3,
+                },
+            }]
+        };
+        assert_eq!(to_jsonl(&mk()), to_jsonl(&mk()));
+    }
+}

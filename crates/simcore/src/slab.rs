@@ -57,6 +57,13 @@ impl<T> Slab<T> {
         }
     }
 
+    /// The key the next [`Slab::insert`] will return (free slots are
+    /// recycled LIFO). Lets callers name a value in events published
+    /// *before* the insertion happens.
+    pub fn vacant_key(&self) -> usize {
+        self.free.last().copied().unwrap_or(self.slots.len())
+    }
+
     /// Removes and returns the value at `key`, if occupied.
     pub fn remove(&mut self, key: usize) -> Option<T> {
         let v = self.slots.get_mut(key)?.take();

@@ -12,7 +12,6 @@ use crate::time::{SimDur, SimTime};
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Samples {
     values: Vec<f64>,
-    sorted: bool,
 }
 
 impl Samples {
@@ -24,7 +23,6 @@ impl Samples {
     /// Adds one observation.
     pub fn push(&mut self, v: f64) {
         self.values.push(v);
-        self.sorted = false;
     }
 
     /// Adds a duration observation in milliseconds.
@@ -61,22 +59,23 @@ impl Samples {
     }
 
     /// The `p`-th percentile (0..=100) by nearest-rank, or 0.0 when empty.
-    pub fn percentile(&mut self, p: f64) -> f64 {
+    ///
+    /// Sorts a copy (total order, so NaN samples cannot panic — they sort
+    /// after every real number) and leaves `self` untouched, so reports
+    /// can query percentiles through shared references.
+    pub fn percentile(&self, p: f64) -> f64 {
         if self.values.is_empty() {
             return 0.0;
         }
-        if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
-            self.sorted = true;
-        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(f64::total_cmp);
         let p = p.clamp(0.0, 100.0);
-        let rank = ((p / 100.0) * self.values.len() as f64).ceil() as usize;
-        self.values[rank.saturating_sub(1).min(self.values.len() - 1)]
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
     }
 
     /// Convenience: the 99th percentile.
-    pub fn p99(&mut self) -> f64 {
+    pub fn p99(&self) -> f64 {
         self.percentile(99.0)
     }
 
@@ -153,8 +152,8 @@ impl TimeSeries {
     }
 
     /// Per-bucket p99 values (empty buckets report 0.0).
-    pub fn p99_series(&mut self) -> Vec<f64> {
-        self.buckets.iter_mut().map(|s| s.p99()).collect()
+    pub fn p99_series(&self) -> Vec<f64> {
+        self.buckets.iter().map(|s| s.p99()).collect()
     }
 
     /// Per-bucket goodput (`fraction <= threshold`).
@@ -192,7 +191,7 @@ mod tests {
 
     #[test]
     fn empty_samples_are_safe() {
-        let mut s = Samples::new();
+        let s = Samples::new();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.p99(), 0.0);
         assert_eq!(s.fraction_at_most(10.0), 1.0);

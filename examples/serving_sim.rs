@@ -37,7 +37,7 @@ fn main() {
         let warmup = requests / 4;
         let trace = poisson::generate(rate, instances, warmup + requests, SimTime::ZERO, 0xBEEF);
         let measure_from = trace[warmup - 1].at;
-        let mut report = run_server(cfg, vec![kind], &vec![0; instances], trace, measure_from);
+        let report = run_server(cfg, vec![kind], &vec![0; instances], trace, measure_from);
         println!(
             "{:<20} {:>9.1} {:>10.1} {:>8.2} {:>10}",
             mode.label(),

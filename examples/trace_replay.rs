@@ -48,7 +48,7 @@ fn main() {
             MafShape::default(),
             0x3A7E,
         );
-        let mut report = run_server(cfg, deployed, &instance_kinds, trace, SimTime::ZERO);
+        let report = run_server(cfg, deployed, &instance_kinds, trace, SimTime::ZERO);
         println!(
             "{:<20} p99 {:>7.1} ms | goodput {:>5.1}% | cold {:>5.2}% | {} requests",
             mode.label(),

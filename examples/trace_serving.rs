@@ -1,0 +1,82 @@
+//! Observability demo: run an oversubscribed BERT-Base serving
+//! experiment (forcing cold starts, evictions and PT migrations), then
+//! export the recorded event log as a Perfetto trace and a JSONL file.
+//!
+//! ```text
+//! cargo run --release --example trace_serving -- /tmp/deepplan
+//! ```
+//!
+//! Open `/tmp/deepplan/serving.trace.json` at <https://ui.perfetto.dev>
+//! (or `chrome://tracing`) to see per-request spans on the "serving"
+//! process, per-GPU exec/load/migrate lanes on the "engine" process,
+//! and counter tracks for queue depth, cache occupancy and per-link
+//! bandwidth shares.
+
+use dnn_models::zoo::{build, ModelId};
+use exec_planner::generate::PlanMode;
+use gpu_topology::netmap::NetMap;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::{poisson, run_server_probed, DeployedModel, ServerConfig};
+use simcore::probe::{to_jsonl, to_perfetto, PerfettoOptions, Probe, ProbeEvent};
+use simcore::time::SimTime;
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "/tmp/deepplan".to_string());
+
+    // 140 instances on a 4-GPU cache can't all stay resident: cold
+    // starts (and their load/migrate/stall events) are guaranteed.
+    let (instances, requests, rate) = (140usize, 400usize, 100.0);
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PtDha;
+    let cfg = ServerConfig::paper_default(machine.clone(), mode);
+    let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, mode, cfg.max_pt_gpus);
+    let trace = poisson::generate(rate, instances, requests, SimTime::ZERO, 11);
+
+    let (probe, log) = Probe::logging();
+    let report = run_server_probed(
+        cfg,
+        vec![kind],
+        &vec![0; instances],
+        trace,
+        SimTime::ZERO,
+        probe,
+    );
+    println!(
+        "served {} requests ({} cold starts, {} evictions), p99 {:.2} ms",
+        report.completed,
+        report.cold_starts,
+        report.evictions,
+        report.p99_ms()
+    );
+
+    let events = &log.borrow().events;
+    let stalls = events
+        .iter()
+        .filter(|e| matches!(e.what, ProbeEvent::StallStarted { .. }))
+        .count();
+    let loads = events
+        .iter()
+        .filter(|e| matches!(e.what, ProbeEvent::LoadStarted { .. }))
+        .count();
+    println!(
+        "recorded {} events ({} layer loads, {} pipeline stalls)",
+        events.len(),
+        loads,
+        stalls
+    );
+
+    std::fs::create_dir_all(&out_dir).expect("create output directory");
+    let jsonl = format!("{out_dir}/serving.events.jsonl");
+    std::fs::write(&jsonl, to_jsonl(events)).expect("write JSONL");
+    println!("wrote {jsonl}");
+
+    let (_, map) = NetMap::build(&machine).expect("valid machine topology");
+    let opts = PerfettoOptions {
+        link_names: map.link_names(),
+    };
+    let trace_path = format!("{out_dir}/serving.trace.json");
+    std::fs::write(&trace_path, to_perfetto(events, &opts)).expect("write trace");
+    println!("wrote {trace_path} — open it at https://ui.perfetto.dev");
+}

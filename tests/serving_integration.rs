@@ -26,8 +26,8 @@ fn bert_run(
 
 #[test]
 fn serving_is_deterministic() {
-    let mut a = bert_run(PlanMode::PtDha, 150, 1_000, 5);
-    let mut b = bert_run(PlanMode::PtDha, 150, 1_000, 5);
+    let a = bert_run(PlanMode::PtDha, 150, 1_000, 5);
+    let b = bert_run(PlanMode::PtDha, 150, 1_000, 5);
     assert_eq!(a.completed, b.completed);
     assert_eq!(a.cold_starts, b.cold_starts);
     assert_eq!(a.evictions, b.evictions);
@@ -96,7 +96,7 @@ fn mixed_model_trace_serves_all_kinds() {
 
 #[test]
 fn queue_wait_is_a_lower_component_of_latency() {
-    let mut r = bert_run(PlanMode::PipeSwitch, 140, 1_000, 17);
+    let r = bert_run(PlanMode::PipeSwitch, 140, 1_000, 17);
     assert_eq!(r.queue_wait.len() as u64, r.completed);
     let p99_wait = r.p99_queue_wait_ms();
     let p99_total = r.p99_ms();
@@ -120,7 +120,7 @@ fn oversized_deployment_is_rejected() {
     cfg.host_mem_bytes = 1 << 30; // A 1 GiB host cannot store 10 BERTs.
     let kind = DeployedModel::prepare(&build(ModelId::BertBase), &machine, PlanMode::Dha, 2);
     let trace = poisson::generate(10.0, 10, 10, SimTime::ZERO, 1);
-    run_server(cfg, vec![kind], &vec![0; 10], trace, SimTime::ZERO);
+    run_server(cfg, vec![kind], &[0; 10], trace, SimTime::ZERO);
 }
 
 #[test]

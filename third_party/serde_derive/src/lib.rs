@@ -1,0 +1,424 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `Serialize`/`Deserialize` impls over the `serde::Value`
+//! model. Parses the item by walking raw token trees (the real `syn` /
+//! `quote` crates are unavailable offline) and emits the impl as source
+//! text. Supports exactly the shapes this workspace uses:
+//!
+//! * non-generic structs with named fields (`#[serde(default)]` honoured),
+//! * tuple structs (newtypes serialize as their inner value),
+//! * enums with unit, tuple and struct variants (externally tagged).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed named field: `(name, has_serde_default)`.
+type Field = (String, bool);
+
+enum Item {
+    NamedStruct(String, Vec<Field>),
+    TupleStruct(String, usize),
+    UnitStruct(String),
+    Enum(String, Vec<Variant>),
+}
+
+enum VariantBody {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive does not support generic type `{name}`");
+    }
+    match (kw.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct(name, parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct(name, count_tuple_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::UnitStruct(name),
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Enum(name, parse_variants(g.stream()))
+        }
+        (kw, other) => panic!("unsupported item shape: {kw} ... {other:?}"),
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                toks.next();
+                if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    toks.next(); // pub(crate) etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collects attributes in front of a field/variant; reports whether any
+/// was `#[serde(default)]`.
+fn take_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut has_default = false;
+    while let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            let mut inner = g.stream().into_iter();
+            if let Some(TokenTree::Ident(i)) = inner.next() {
+                if i.to_string() == "serde" {
+                    if let Some(TokenTree::Group(args)) = inner.next() {
+                        if args.stream().to_string().contains("default") {
+                            has_default = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    has_default
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let has_default = take_attrs(&mut toks);
+        skip_attrs_and_vis(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(field_name) = tok else {
+            panic!("expected field name, got {tok:?}");
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field_name}`, got {other:?}"),
+        }
+        fields.push((field_name.to_string(), has_default));
+        // Skip the type: tokens until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        for tok in toks.by_ref() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut any = false;
+    for tok in stream {
+        any = true;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if any {
+        commas + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut toks);
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("expected variant name, got {tok:?}");
+        };
+        let body = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantBody::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantBody::Tuple(n)
+            }
+            _ => VariantBody::Unit,
+        };
+        variants.push(Variant {
+            name: vname.to_string(),
+            body,
+        });
+        // Consume the trailing comma (and ignore `= discr` which we do not
+        // support for serde enums).
+        for tok in toks.by_ref() {
+            if matches!(&tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn named_fields_to_object(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let members: Vec<String> = fields
+        .iter()
+        .map(|(f, _)| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({})),",
+                accessor(f)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", members.join(""))
+}
+
+fn named_fields_from_object(fields: &[Field], ctx: &str) -> String {
+    fields
+        .iter()
+        .map(|(f, has_default)| {
+            let missing = if *has_default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!(
+                    "return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"missing field `{f}` in {ctx}\"))"
+                )
+            };
+            format!(
+                "{f}: match ::serde::field(fields, \"{f}\") {{\
+                 ::std::option::Option::Some(x) => ::serde::Deserialize::from_value(x)?,\
+                 ::std::option::Option::None => {missing},}},"
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => (
+            name,
+            named_fields_to_object(fields, |f| format!("&self.{f}")),
+        ),
+        Item::TupleStruct(name, 1) => (name, "::serde::Serialize::to_value(&self.0)".to_string()),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", elems.join("")),
+            )
+        }
+        Item::UnitStruct(name) => (name, "::serde::Value::Null".to_string()),
+        Item::Enum(name, variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantBody::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let elems: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", elems.join(""))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds.join(",")
+                            )
+                        }
+                        VariantBody::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|(f, _)| f.clone()).collect();
+                            let payload = named_fields_to_object(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vn}\"), {payload})]),",
+                                binds.join(",")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join("")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\
+         fn to_value(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct(name, fields) => {
+            let members = named_fields_from_object(fields, name);
+            (
+                name,
+                format!(
+                    "let fields = v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\
+                     ::std::result::Result::Ok({name} {{ {members} }})"
+                ),
+            )
+        }
+        Item::TupleStruct(name, 1) => (
+            name,
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        ),
+        Item::TupleStruct(name, n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let arr = v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\
+                     if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"wrong arity for {name}\")); }}\
+                     ::std::result::Result::Ok({name}({}))",
+                    elems.join("")
+                ),
+            )
+        }
+        Item::UnitStruct(name) => (
+            name,
+            format!("::std::result::Result::Ok({name})").to_string(),
+        ),
+        Item::Enum(name, variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.body, VariantBody::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.body {
+                        VariantBody::Unit => None,
+                        VariantBody::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        )),
+                        VariantBody::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?,"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                 let arr = payload.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\
+                                 if arr.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\
+                                 ::std::result::Result::Ok({name}::{vn}({}))}},",
+                                elems.join("")
+                            ))
+                        }
+                        VariantBody::Named(fields) => {
+                            let members =
+                                named_fields_from_object(fields, &format!("{name}::{vn}"));
+                            Some(format!(
+                                "\"{vn}\" => {{\
+                                 let fields = payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\
+                                 ::std::result::Result::Ok({name}::{vn} {{ {members} }})}},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "if let ::std::option::Option::Some(s) = v.as_str() {{\
+                     return match s {{ {units} _ => ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"unknown variant of {name}\")) }};\
+                     }}\
+                     let obj = v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for enum {name}\"))?;\
+                     let (tag, payload) = obj.first().ok_or_else(|| \
+                     ::serde::Error::custom(\"empty object for enum {name}\"))?;\
+                     let _ = payload;\
+                     match tag.as_str() {{ {tagged} _ => ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"unknown variant of {name}\")) }}",
+                    units = unit_arms.join(""),
+                    tagged = tagged_arms.join("")
+                ),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\
+         fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
