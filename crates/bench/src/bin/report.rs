@@ -12,8 +12,8 @@ use std::fs;
 use std::path::Path;
 
 use bench::experiments::{
-    ablations, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, table1, table3,
-    table4, table5,
+    ablations, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, table1,
+    table3, table4, table5,
 };
 use bench::Table;
 
@@ -47,6 +47,7 @@ fn run_one(name: &str) -> bool {
         "fig14" => emit("fig14_serving_large", fig14::run()),
         "fig15" => emit("fig15_maf_trace", fig15::run()),
         "fig16" => emit("fig16_pcie4", fig16::run()),
+        "faults" => emit("faults_matrix", faults::run()),
         "ablations" => {
             for (i, t) in ablations::run_all().into_iter().enumerate() {
                 emit(&format!("ablation_{i}"), t);
@@ -85,6 +86,7 @@ const ALL: &[&str] = &[
     "fig14",
     "fig15",
     "fig16",
+    "faults",
     "ablations",
 ];
 

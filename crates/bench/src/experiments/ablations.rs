@@ -84,6 +84,7 @@ pub fn pt_partner_choice() -> Table {
             skip_exec: false,
             bulk_migrate: false,
             distributed: false,
+            exec_scale: 1.0,
         };
         let (res, _) = {
             let (mut r, net) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
@@ -116,6 +117,7 @@ pub fn partition_count() -> Table {
             skip_exec: true,
             bulk_migrate: false,
             distributed: false,
+            exec_scale: 1.0,
         };
         let (results, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
         t.push(vec![
@@ -171,6 +173,7 @@ pub fn distributed_execution() -> Table {
             skip_exec: false,
             bulk_migrate: false,
             distributed,
+            exec_scale: 1.0,
         };
         let (cold, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(false))]);
         let (warm, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true))]);

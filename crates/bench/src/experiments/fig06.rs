@@ -68,6 +68,7 @@ pub fn measure(id: deepplan::ModelId, cfg_idx: usize) -> (f64, f64) {
         skip_exec: true,
         bulk_migrate: cfg.bulk,
         distributed: false,
+        exec_scale: 1.0,
     };
     let (results, _) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     let secs = results[0].latency().as_secs_f64();

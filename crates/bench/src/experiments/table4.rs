@@ -31,6 +31,7 @@ pub fn measure(id: deepplan::ModelId) -> (f64, f64, f64) {
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: 1.0,
     };
     let (results, _) = run_at(
         machine,

@@ -8,7 +8,12 @@
 //! deepplan-cli simulate bert-base [--mode pt+dha] [--batch N]
 //! deepplan-cli serve bert-base [--mode pt+dha] [--concurrency N] [--requests N]
 //!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
+//!     [--faults SPEC] [--deadline-ms N]
 //! ```
+//!
+//! `--faults` takes the fault DSL (see `simcore::fault::FaultSpec::parse`),
+//! e.g. `--faults 'gpu-fail@2s:gpu=1; gpu-recover@4s:gpu=1'` or
+//! `--faults 'link-flap:pcie=0,up=2s,down=300ms,factor=0.3'`.
 
 use deepplan::excerpt::{excerpt, format_excerpt};
 use deepplan::{DeepPlan, ModelId, PlanMode};
@@ -16,9 +21,10 @@ use dnn_models::zoo::catalog;
 use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
-use model_serving::{poisson, run_server_probed, DeployedModel, ServerConfig};
+use model_serving::{poisson, run_server_faulted, DeployedModel, ServerConfig};
+use simcore::fault::FaultSpec;
 use simcore::probe::{to_jsonl, to_perfetto, PerfettoOptions, Probe};
-use simcore::time::SimTime;
+use simcore::time::{SimDur, SimTime};
 
 struct Args {
     cmd: String,
@@ -34,6 +40,8 @@ struct Args {
     seed: u64,
     trace_out: Option<String>,
     events_out: Option<String>,
+    faults: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn usage() -> ! {
@@ -41,7 +49,8 @@ fn usage() -> ! {
         "usage: deepplan-cli <models|machines|profile|plan|simulate|serve> [model] \
          [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
          [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
-         [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE]"
+         [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
+         [--faults SPEC] [--deadline-ms N]"
     );
     std::process::exit(2)
 }
@@ -79,6 +88,8 @@ fn parse() -> Args {
         seed: 11,
         trace_out: None,
         events_out: None,
+        faults: None,
+        deadline_ms: None,
     };
     let mut it = argv.iter().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -148,6 +159,14 @@ fn parse() -> Args {
             }
             "--trace-out" => args.trace_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--events-out" => args.events_out = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--faults" => args.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
             other => match parse_model(other) {
                 Some(m) => args.model = Some(m),
                 None => {
@@ -257,7 +276,17 @@ fn main() {
         "serve" => {
             let id = args.model.unwrap_or_else(|| usage());
             let machine = args.machine.clone();
-            let cfg = ServerConfig::paper_default(machine.clone(), args.mode);
+            let mut cfg = ServerConfig::paper_default(machine.clone(), args.mode);
+            if let Some(ms) = args.deadline_ms {
+                cfg.faults.deadline = Some(SimDur::from_millis(ms));
+            }
+            let faults = match &args.faults {
+                Some(spec) => FaultSpec::parse(spec, args.seed).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2)
+                }),
+                None => FaultSpec::none(),
+            };
             let model = dnn_models::zoo::build(id);
             let kind = DeployedModel::prepare(&model, &machine, args.mode, cfg.max_pt_gpus);
             let instance_kinds = vec![0usize; args.concurrency];
@@ -275,13 +304,14 @@ fn main() {
             } else {
                 (Probe::disabled(), None)
             };
-            let report = run_server_probed(
+            let report = run_server_faulted(
                 cfg,
                 vec![kind],
                 &instance_kinds,
                 trace,
                 SimTime::ZERO,
                 probe,
+                &faults,
             );
             println!(
                 "{} / {} / {} instance(s), {} request(s) at {:.0} req/s on {}:",
@@ -297,6 +327,12 @@ fn main() {
                 report.goodput() * 100.0,
                 report.p99_queue_wait_ms()
             );
+            if !faults.is_empty() {
+                println!(
+                    "  faults: {} gpu failure(s), {} aborted run(s), {} retr(ies), {} shed",
+                    report.gpu_failures, report.aborted_runs, report.retries, report.shed
+                );
+            }
             if let Some(log) = log {
                 let events = &log.borrow().events;
                 if let Some(path) = &args.events_out {

@@ -55,6 +55,22 @@ pub struct LaunchSpec {
     /// stream *hops* between GPUs, paying an NVLink activation transfer
     /// at every partition boundary — on every inference, warm or cold.
     pub distributed: bool,
+    /// Compute-time multiplier for this run (fault injection: clock
+    /// capping / MPS interference). `1.0` is the exact healthy path —
+    /// durations are passed through untouched, not re-derived through
+    /// float math.
+    pub exec_scale: f64,
+}
+
+/// Scales a duration by `k`, preserving `k == 1.0` as the exact
+/// identity so healthy runs are bit-identical with fault plumbing
+/// compiled in.
+fn scaled(d: SimDur, k: f64) -> SimDur {
+    if k == 1.0 {
+        d
+    } else {
+        d.mul_f64(k)
+    }
 }
 
 impl LaunchSpec {
@@ -161,6 +177,10 @@ pub fn start_inference<S: HasHw>(
         spec.plan.decisions.len(),
         n,
         "plan/runtime layer count mismatch"
+    );
+    assert!(
+        spec.exec_scale.is_finite() && spec.exec_scale > 0.0,
+        "exec_scale must be positive and finite"
     );
     let now = ctx.now();
     let mut ready = vec![false; n];
@@ -757,7 +777,12 @@ fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
         };
         run.layer_started = now;
         run.pending_parts = if wire > 0.0 { 2 } else { 1 };
-        (compute, wire, run.current_gpu, i)
+        (
+            scaled(compute, run.spec.exec_scale),
+            wire,
+            run.current_gpu,
+            i,
+        )
     };
     let hw = state.hw();
     hw.emit(
@@ -864,4 +889,30 @@ fn complete<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
     if let Some(cb) = run.on_done {
         cb(state, ctx, result);
     }
+}
+
+/// Aborts an in-flight run (fault injection: its GPU died). The run is
+/// torn down immediately: its slot is freed, its completion callback is
+/// dropped without firing, and every pending flow/timer event it had
+/// scheduled becomes a no-op through the [`RunRef`] generation guard.
+/// The host decides what happens to the request (retry elsewhere, shed).
+///
+/// Returns `false` when the run already completed — its callback may
+/// already be queued, so the host must treat it as finished.
+pub fn abort_run<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) -> bool {
+    let now = ctx.now();
+    let hw = state.hw();
+    if hw.runs.get(r.slot).map(|x| x.gen) != Some(r.gen) {
+        return false;
+    }
+    let run = hw.runs.remove(r.slot).expect("checked occupied");
+    hw.probe.emit(
+        now,
+        ProbeEvent::RunAborted {
+            run: r.slot,
+            gpu: run.spec.primary,
+        },
+    );
+    drop(run); // on_done never fires.
+    true
 }

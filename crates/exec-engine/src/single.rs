@@ -97,6 +97,7 @@ pub fn run_cold(
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: 1.0,
     };
     run_at(machine, vec![(SimTime::ZERO, spec)]).0.remove(0)
 }
@@ -117,6 +118,7 @@ pub fn run_warm(
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: 1.0,
     };
     run_at(machine, vec![(SimTime::ZERO, spec)]).0.remove(0)
 }
@@ -172,6 +174,7 @@ pub fn run_transfer_only(
         skip_exec: true,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: 1.0,
     };
     let (mut results, net) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     (results.remove(0), net)
@@ -323,6 +326,7 @@ mod tests {
             skip_exec: false,
             bulk_migrate: false,
             distributed: false,
+            exec_scale: 1.0,
         };
         let (alone, _) = run_at(p3_8xlarge(), vec![(SimTime::ZERO, spec(0))]);
         let (same_switch, _) = run_at(

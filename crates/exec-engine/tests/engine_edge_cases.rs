@@ -103,6 +103,7 @@ fn warm_distributed_pays_hops_warm_merged_does_not() {
         skip_exec: false,
         bulk_migrate: false,
         distributed,
+        exec_scale: 1.0,
     };
     let (merged, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true, false))]);
     let (dist, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true, true))]);
@@ -140,6 +141,7 @@ fn bulk_migration_defers_readiness_to_partition_end() {
         skip_exec: true,
         bulk_migrate: bulk,
         distributed: false,
+        exec_scale: 1.0,
     };
     let (pipe, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(false))]);
     let (bulk, _) = run_at(machine, vec![(SimTime::ZERO, spec(true))]);
@@ -172,6 +174,7 @@ fn single_layer_model_runs_under_every_flag_combo() {
                 skip_exec: false,
                 bulk_migrate: false,
                 distributed: false,
+                exec_scale: 1.0,
             };
             let (res, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
             assert!(res[0].latency().as_nanos() > 0);
@@ -214,6 +217,7 @@ fn warm_fast_path_matches_slow_path_exactly() {
         skip_exec: false,
         bulk_migrate: false,
         distributed: true, // Forces the per-layer path; no hops occur.
+        exec_scale: 1.0,
     };
     let (slow, _) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     assert_eq!(

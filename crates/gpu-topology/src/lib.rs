@@ -9,12 +9,14 @@
 //! parallel transmission).
 
 pub mod device;
+pub mod health;
 pub mod machine;
 pub mod netmap;
 pub mod presets;
 pub mod select;
 
 pub use device::{GpuSpec, LinkSpec};
+pub use health::{GpuHealth, LinkHealth};
 pub use machine::{Machine, MachineBuilder, TopologyError};
 pub use netmap::NetMap;
 pub use select::pt_group;

@@ -10,6 +10,7 @@
 //! A host→GPU transfer crosses `[uplink(switch(g)), pcie(g)]`; a GPU→GPU
 //! NVLink transfer crosses the single pair link.
 
+use simcore::fault::LinkRef;
 use simcore::flow::{FlowNet, LinkId};
 
 use crate::machine::{Machine, TopologyError};
@@ -103,6 +104,25 @@ impl NetMap {
         ]
     }
 
+    /// Resolves a topology-level [`LinkRef`] from a fault spec to the
+    /// concrete [`LinkId`] in the built network. Returns `None` for
+    /// out-of-range or non-existent links (e.g. an NVLink pair this
+    /// machine does not have).
+    pub fn resolve_link(&self, link: &LinkRef) -> Option<LinkId> {
+        match *link {
+            LinkRef::Raw(i) => {
+                let count = self.switch_uplink.len() + self.gpu_pcie.len() + self.nvlink.len();
+                (i < count).then_some(LinkId(i))
+            }
+            LinkRef::PcieGpu(g) => self.gpu_pcie.get(g).copied(),
+            LinkRef::Uplink(s) => self.switch_uplink.get(s).copied(),
+            LinkRef::NvLink(a, b) => {
+                let key = (a.min(b), a.max(b));
+                self.nvlink.iter().find(|(k, _)| *k == key).map(|(_, l)| *l)
+            }
+        }
+    }
+
     /// Link path for a GPU→GPU NVLink transfer, or `None` when the pair is
     /// not NVLink-connected.
     pub fn gpu_to_gpu(&self, machine: &Machine, a: usize, b: usize) -> Option<Vec<LinkId>> {
@@ -168,6 +188,29 @@ mod tests {
         let f2 = net.add_flow(1e9, map.host_to_gpu(&m, 2));
         assert!((net.flow_rate(f0).unwrap() - 12e9).abs() < 1.0);
         assert!((net.flow_rate(f2).unwrap() - 12e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn resolve_link_maps_refs_to_ids() {
+        let m = machine();
+        let (_net, map) = NetMap::build(&m).unwrap();
+        assert_eq!(
+            map.resolve_link(&LinkRef::Uplink(0)),
+            Some(map.switch_uplink[0])
+        );
+        assert_eq!(
+            map.resolve_link(&LinkRef::PcieGpu(3)),
+            Some(map.gpu_pcie[3])
+        );
+        // NVLink lookup is order-insensitive.
+        assert_eq!(
+            map.resolve_link(&LinkRef::NvLink(2, 0)),
+            map.resolve_link(&LinkRef::NvLink(0, 2))
+        );
+        assert!(map.resolve_link(&LinkRef::NvLink(1, 1)).is_none());
+        assert!(map.resolve_link(&LinkRef::PcieGpu(9)).is_none());
+        assert_eq!(map.resolve_link(&LinkRef::Raw(0)), Some(LinkId(0)));
+        assert!(map.resolve_link(&LinkRef::Raw(99)).is_none());
     }
 
     #[test]

@@ -6,6 +6,39 @@ use simcore::time::SimDur;
 
 use crate::memory::EvictionPolicy;
 
+/// Robustness knobs: how the server reacts to faults and overload.
+///
+/// The defaults are behavior-preserving on a healthy run: no deadline,
+/// priority floor 0 (nothing shed), and retries that only trigger when a
+/// GPU actually dies.
+#[derive(Debug, Clone)]
+pub struct FaultPolicy {
+    /// Per-request deadline measured from arrival; a request still
+    /// undispatched past it is shed. `None` disables deadline shedding.
+    pub deadline: Option<SimDur>,
+    /// Retry budget after a run is lost to a GPU failure; exhausting it
+    /// sheds the request.
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `n` waits `n × retry_backoff` before
+    /// re-queueing on a healthy GPU.
+    pub retry_backoff: SimDur,
+    /// Graceful degradation: while the cluster is degraded (a GPU down
+    /// or a link below healthy capacity), arriving requests with
+    /// priority strictly below this floor are shed. 0 sheds nothing.
+    pub shed_priority_floor: u8,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            deadline: None,
+            max_retries: 3,
+            retry_backoff: SimDur::from_millis(2),
+            shed_priority_floor: 0,
+        }
+    }
+}
+
 /// Configuration of one serving experiment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -29,6 +62,8 @@ pub struct ServerConfig {
     pub eviction: EvictionPolicy,
     /// Width of the reporting time buckets (Figure 15 uses one minute).
     pub bucket: SimDur,
+    /// Robustness policy (deadlines, retries, shedding).
+    pub faults: FaultPolicy,
 }
 
 impl ServerConfig {
@@ -44,6 +79,7 @@ impl ServerConfig {
             host_mem_bytes: 244 << 30,
             eviction: EvictionPolicy::Lru,
             bucket: SimDur::from_secs(60),
+            faults: FaultPolicy::default(),
         }
     }
 

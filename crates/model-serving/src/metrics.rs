@@ -20,6 +20,14 @@ pub struct ServingReport {
     pub queue_wait: Samples,
     /// Pinned host memory the deployment occupies (model store bytes).
     pub host_pinned_bytes: u64,
+    /// Requests shed without service (deadline, pressure, capacity loss).
+    pub shed: u64,
+    /// Retry attempts performed after lost runs or GPU failures.
+    pub retries: u64,
+    /// GPU failure events applied during the run.
+    pub gpu_failures: u64,
+    /// In-flight runs aborted by GPU failures.
+    pub aborted_runs: u64,
     /// SLO used for goodput.
     pub slo: SimDur,
 }
@@ -35,6 +43,10 @@ impl ServingReport {
             evictions: 0,
             queue_wait: Samples::new(),
             host_pinned_bytes: 0,
+            shed: 0,
+            retries: 0,
+            gpu_failures: 0,
+            aborted_runs: 0,
             slo,
         }
     }

@@ -12,13 +12,15 @@
 
 use std::collections::VecDeque;
 
-use exec_engine::hw::{HasHw, HwState};
-use exec_engine::launch::{start_inference, LaunchSpec};
+use exec_engine::hw::{HasHw, HwState, RunRef};
+use exec_engine::launch::{abort_run, start_inference, LaunchSpec};
+use gpu_topology::health::{GpuHealth, LinkHealth};
 use gpu_topology::select::pt_group;
-use simcore::driver::{FlowDriver, HasFlowDriver};
-use simcore::probe::{Probe, ProbeEvent};
+use simcore::driver::{set_link_capacity, FlowDriver, HasFlowDriver};
+use simcore::fault::{FaultKind, FaultSpec};
+use simcore::probe::{Probe, ProbeEvent, ShedCause};
 use simcore::sim::{Ctx, Sim};
-use simcore::time::SimTime;
+use simcore::time::{SimDur, SimTime};
 
 use crate::catalog::DeployedModel;
 use crate::config::ServerConfig;
@@ -32,6 +34,20 @@ struct Queued {
     req: u64,
     instance: usize,
     arrival: SimTime,
+    /// Failure-retry attempt this entry represents (0 = first try).
+    attempt: u32,
+    priority: u8,
+}
+
+/// The request currently executing on a GPU, kept so a GPU failure can
+/// abort the run and retry the request elsewhere.
+struct RunningReq {
+    req: u64,
+    instance: usize,
+    arrival: SimTime,
+    attempt: u32,
+    priority: u8,
+    run: RunRef,
 }
 
 /// The simulation world of one serving experiment.
@@ -50,6 +66,18 @@ pub struct ServerState {
     measure_from: SimTime,
     probe: Probe,
     next_req: u64,
+    // --- fault state (inert on healthy runs) ---
+    gpu_up: GpuHealth,
+    link_health: LinkHealth,
+    running: Vec<Option<RunningReq>>,
+    /// Pinned host bytes each instance's weights occupy.
+    inst_pinned: Vec<u64>,
+    /// Instances whose host copy was reclaimed under memory pressure.
+    unpinned: Vec<bool>,
+    pinned_total: u64,
+    pressure_bytes: u64,
+    /// Compute-time multiplier applied to newly dispatched runs.
+    slowdown: f64,
 }
 
 impl HasFlowDriver for ServerState {
@@ -77,8 +105,15 @@ impl ServerState {
         let caches = (0..n_gpus)
             .map(|g| GpuCache::new(cfg.cache_bytes(g)))
             .collect();
-        let sizes = kinds.iter().map(|k| k.resident_bytes).collect();
+        let sizes: Vec<u64> = kinds.iter().map(|k| k.resident_bytes).collect();
+        let inst_pinned: Vec<u64> = instance_kinds
+            .iter()
+            .map(|&k| kinds[k].rt.total_bytes)
+            .collect();
+        let pinned_total = inst_pinned.iter().sum();
+        let n_inst = instance_kinds.len();
         let report = ServingReport::new(cfg.slo, cfg.bucket);
+        let link_health = LinkHealth::snapshot(&flows.net);
         ServerState {
             hw,
             flows,
@@ -94,6 +129,14 @@ impl ServerState {
             measure_from,
             probe: Probe::disabled(),
             next_req: 0,
+            gpu_up: GpuHealth::all_up(n_gpus),
+            link_health,
+            running: (0..n_gpus).map(|_| None).collect(),
+            inst_pinned,
+            unpinned: vec![false; n_inst],
+            pinned_total,
+            pressure_bytes: 0,
+            slowdown: 1.0,
         }
     }
 
@@ -152,9 +195,11 @@ impl ServerState {
     }
 
     /// GPU choice for a non-resident instance: shortest queue, then most
-    /// free cache, then lowest index.
-    fn pick_gpu(&self) -> usize {
+    /// free cache, then lowest index — healthy GPUs only. `None` when
+    /// every GPU is down.
+    fn pick_gpu(&self) -> Option<usize> {
         (0..self.queues.len())
+            .filter(|&g| self.gpu_up.is_up(g))
             .min_by_key(|&g| {
                 (
                     self.queues[g].len() + usize::from(self.busy[g]),
@@ -162,7 +207,25 @@ impl ServerState {
                     g,
                 )
             })
-            .expect("machine has GPUs")
+    }
+
+    /// Whether the cluster is running below healthy capacity (a GPU down
+    /// or any link degraded) — the trigger for priority shedding.
+    fn degraded(&self) -> bool {
+        self.gpu_up.up_count() < self.gpu_up.len() || self.link_health.any_degraded()
+    }
+
+    /// Sheds a request: counted, never served.
+    fn shed(&mut self, at: SimTime, req: u64, instance: usize, cause: ShedCause) {
+        self.report.shed += 1;
+        self.probe.emit(
+            at,
+            ProbeEvent::RequestShed {
+                req,
+                instance,
+                cause,
+            },
+        );
     }
 }
 
@@ -180,18 +243,36 @@ fn schedule_next_arrival(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
     );
 }
 
-/// Routes one request to a GPU queue.
+/// Routes one request to a GPU queue, or sheds it when the cluster
+/// cannot take it (no healthy GPU, its host copy reclaimed, or priority
+/// below the degradation floor).
 fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
-    let g = match s.instances[req.instance].gpu() {
-        Some(g) => g,
-        None => s.pick_gpu(),
-    };
     let req_id = s.next_req;
     s.next_req += 1;
+    if s.unpinned[req.instance] {
+        s.shed(ctx.now(), req_id, req.instance, ShedCause::Pressure);
+        return;
+    }
+    if req.priority < s.cfg.faults.shed_priority_floor && s.degraded() {
+        s.shed(ctx.now(), req_id, req.instance, ShedCause::Priority);
+        return;
+    }
+    let g = match s.instances[req.instance].gpu() {
+        Some(g) if s.gpu_up.is_up(g) => g,
+        _ => match s.pick_gpu() {
+            Some(g) => g,
+            None => {
+                s.shed(ctx.now(), req_id, req.instance, ShedCause::NoCapacity);
+                return;
+            }
+        },
+    };
     s.queues[g].push_back(Queued {
         req: req_id,
         instance: req.instance,
         arrival: ctx.now(),
+        attempt: 0,
+        priority: req.priority,
     });
     s.probe.emit(
         ctx.now(),
@@ -205,13 +286,25 @@ fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
     try_dispatch(s, ctx, g);
 }
 
-/// Dispatches the head of GPU `g`'s queue if the GPU is idle.
+/// Dispatches the head of GPU `g`'s queue if the GPU is idle and up.
 fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
-    if s.busy[g] {
+    if s.busy[g] || !s.gpu_up.is_up(g) {
         return;
     }
-    let Some(q) = s.queues[g].pop_front() else {
-        return;
+    let q = loop {
+        let Some(q) = s.queues[g].pop_front() else {
+            return;
+        };
+        // Deadline check happens at dispatch: a request that waited past
+        // its deadline is shed rather than served late.
+        if let Some(deadline) = s.cfg.faults.deadline {
+            if ctx.now() - q.arrival > deadline {
+                s.shed(ctx.now(), q.req, q.instance, ShedCause::Deadline);
+                s.emit_queue_depth(ctx.now(), g);
+                continue;
+            }
+        }
+        break q;
     };
     let inst_id = q.instance;
 
@@ -274,7 +367,14 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     let dm = &s.kinds[kind];
     let secondaries: Vec<usize> = if !warm && dm.plan.gpu_slots() > 1 {
         pt_group(&s.cfg.machine, g, s.cfg.max_pt_gpus)
-            .map(|grp| grp.into_iter().skip(1).collect())
+            .map(|grp| {
+                grp.into_iter()
+                    .skip(1)
+                    // A downed partner cannot lend its PCIe lane; the
+                    // surplus partition folds back onto the primary.
+                    .filter(|&sg| s.gpu_up.is_up(sg))
+                    .collect()
+            })
             .unwrap_or_default()
     } else {
         Vec::new()
@@ -288,9 +388,12 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: s.slowdown,
     };
     let arrival = q.arrival;
     let req_id = q.req;
+    let attempt = q.attempt;
+    let priority = q.priority;
     let dispatched = ctx.now();
     // Published before the launch so the span's dispatch precedes the
     // engine events it causes; the run slot is the one the next insert
@@ -305,7 +408,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             run: s.hw.runs.vacant_key(),
         },
     );
-    start_inference(
+    let run = start_inference(
         s,
         ctx,
         spec,
@@ -324,6 +427,14 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             on_complete(s, ctx, g, inst_id, warm, arrival, res.finished);
         }),
     );
+    s.running[g] = Some(RunningReq {
+        req: req_id,
+        instance: inst_id,
+        arrival,
+        attempt,
+        priority,
+        run,
+    });
 }
 
 /// An inference finished on GPU `g`.
@@ -337,6 +448,7 @@ fn on_complete(
     finished: SimTime,
 ) {
     s.busy[g] = false;
+    s.running[g] = None;
     let inst = &mut s.instances[inst_id];
     inst.active -= 1;
     if inst.residency == Residency::Loading(g) {
@@ -346,6 +458,217 @@ fn on_complete(
         s.report.record(finished, finished - arrival, !warm);
     }
     try_dispatch(s, ctx, g);
+}
+
+/// Re-queues a request on a healthy GPU, counting it as a retry. Sheds
+/// when the retry budget is spent or no GPU is up.
+fn requeue(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    req: u64,
+    instance: usize,
+    arrival: SimTime,
+    attempt: u32,
+    priority: u8,
+) {
+    if attempt > s.cfg.faults.max_retries {
+        s.shed(ctx.now(), req, instance, ShedCause::RetriesExhausted);
+        return;
+    }
+    let g = match s.instances[instance].gpu() {
+        Some(g) if s.gpu_up.is_up(g) => g,
+        _ => match s.pick_gpu() {
+            Some(g) => g,
+            None => {
+                s.shed(ctx.now(), req, instance, ShedCause::NoCapacity);
+                return;
+            }
+        },
+    };
+    s.report.retries += 1;
+    s.probe.emit(
+        ctx.now(),
+        ProbeEvent::RequestRetried {
+            req,
+            instance,
+            gpu: g,
+            attempt,
+        },
+    );
+    s.queues[g].push_back(Queued {
+        req,
+        instance,
+        arrival,
+        attempt,
+        priority,
+    });
+    s.emit_queue_depth(ctx.now(), g);
+    try_dispatch(s, ctx, g);
+}
+
+/// GPU `g` died: abort its run, lose its memory, re-route its queue.
+fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    if g >= s.gpu_up.len() || !s.gpu_up.fail(g) {
+        return; // Unknown or already down.
+    }
+    let now = ctx.now();
+    s.report.gpu_failures += 1;
+    s.probe.emit(now, ProbeEvent::GpuFailed { gpu: g });
+    // Abort the in-flight inference; its request retries with backoff on
+    // a surviving GPU. In-flight flows drain as no-ops through the run's
+    // generation guard.
+    if let Some(rr) = s.running[g].take() {
+        if abort_run(s, ctx, rr.run) {
+            s.report.aborted_runs += 1;
+            s.instances[rr.instance].active -= 1;
+            let attempt = rr.attempt + 1;
+            let backoff =
+                SimDur::from_nanos(s.cfg.faults.retry_backoff.as_nanos() * u64::from(attempt));
+            let (req, instance, arrival, priority) = (rr.req, rr.instance, rr.arrival, rr.priority);
+            ctx.schedule_in(
+                backoff,
+                Box::new(move |s: &mut ServerState, ctx| {
+                    requeue(s, ctx, req, instance, arrival, attempt, priority);
+                }),
+            );
+        }
+    }
+    s.busy[g] = false;
+    // Device memory is gone: every instance on this GPU is cold again.
+    for inst in s.instances.iter_mut() {
+        if inst.gpu() == Some(g) {
+            inst.residency = Residency::NotResident;
+        }
+    }
+    s.caches[g].used = 0;
+    s.emit_cache(now, g);
+    // Queued requests immediately re-route to survivors (no backoff —
+    // they were not mid-run, routing is the router's own failure).
+    let drained: Vec<Queued> = s.queues[g].drain(..).collect();
+    s.emit_queue_depth(now, g);
+    for q in drained {
+        requeue(
+            s,
+            ctx,
+            q.req,
+            q.instance,
+            q.arrival,
+            q.attempt + 1,
+            q.priority,
+        );
+    }
+}
+
+/// GPU `g` came back — empty: cold caches, fresh contexts.
+fn gpu_recover(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    if g >= s.gpu_up.len() || !s.gpu_up.recover(g) {
+        return; // Unknown or already up.
+    }
+    s.probe.emit(ctx.now(), ProbeEvent::GpuRecovered { gpu: g });
+    try_dispatch(s, ctx, g);
+}
+
+/// Applies host pinned-memory pressure: unpin instances (highest id
+/// first — latest deployed, lowest priority) until the rest fit in what
+/// the external claimant left.
+fn apply_mem_pressure(s: &mut ServerState, ctx: &mut Ctx<ServerState>, bytes: u64) {
+    let now = ctx.now();
+    s.pressure_bytes = bytes;
+    let available = s.cfg.host_mem_bytes.saturating_sub(bytes);
+    for i in (0..s.instances.len()).rev() {
+        if s.pinned_total <= available {
+            break;
+        }
+        if s.unpinned[i] || s.instances[i].active > 0 {
+            continue; // Active instances keep their pinned weights.
+        }
+        s.unpinned[i] = true;
+        s.pinned_total -= s.inst_pinned[i];
+        // The host copy is the source of truth; without it the GPU
+        // replica cannot be trusted (DHA layers read host memory every
+        // execution), so the instance is fully deprovisioned.
+        if let Some(g) = s.instances[i].gpu() {
+            s.caches[g].used = s.caches[g]
+                .used
+                .saturating_sub(s.sizes[s.instances[i].kind]);
+            s.instances[i].residency = Residency::NotResident;
+            s.emit_cache(now, g);
+        }
+    }
+    s.probe.emit(
+        now,
+        ProbeEvent::HostPinned {
+            bytes: s.pinned_total,
+        },
+    );
+    s.probe
+        .emit(now, ProbeEvent::HostMemAvailable { bytes: available });
+}
+
+/// Pressure released: re-pin every reclaimed instance's weights.
+fn release_mem_pressure(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
+    let now = ctx.now();
+    s.pressure_bytes = 0;
+    for i in 0..s.instances.len() {
+        if s.unpinned[i] {
+            s.unpinned[i] = false;
+            s.pinned_total += s.inst_pinned[i];
+        }
+    }
+    s.probe.emit(
+        now,
+        ProbeEvent::HostPinned {
+            bytes: s.pinned_total,
+        },
+    );
+    s.probe.emit(
+        now,
+        ProbeEvent::HostMemAvailable {
+            bytes: s.cfg.host_mem_bytes,
+        },
+    );
+}
+
+/// Applies one materialized fault event to the serving world.
+fn apply_fault(s: &mut ServerState, ctx: &mut Ctx<ServerState>, kind: FaultKind) {
+    match kind {
+        FaultKind::GpuFail { gpu } => gpu_fail(s, ctx, gpu),
+        FaultKind::GpuRecover { gpu } => gpu_recover(s, ctx, gpu),
+        FaultKind::LinkDegrade { link, factor } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                let cap = s.link_health.degrade(l, factor);
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::LinkCapacity {
+                        link: l.0,
+                        capacity_bps: cap,
+                    },
+                );
+                set_link_capacity(s, ctx, l, cap);
+            }
+        }
+        FaultKind::LinkRestore { link } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                let cap = s.link_health.restore(l);
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::LinkCapacity {
+                        link: l.0,
+                        capacity_bps: cap,
+                    },
+                );
+                set_link_capacity(s, ctx, l, cap);
+            }
+        }
+        FaultKind::HostMemPressure { bytes } => apply_mem_pressure(s, ctx, bytes),
+        FaultKind::HostMemRelease => release_mem_pressure(s, ctx),
+        FaultKind::Slowdown { factor } => {
+            if factor.is_finite() && factor > 0.0 {
+                s.slowdown = factor;
+            }
+        }
+        FaultKind::SlowdownEnd => s.slowdown = 1.0,
+    }
 }
 
 /// Runs one serving experiment to completion and returns the report.
@@ -397,6 +720,39 @@ pub fn run_server_probed(
     measure_from: SimTime,
     probe: Probe,
 ) -> ServingReport {
+    run_server_faulted(
+        cfg,
+        kinds,
+        instance_kinds,
+        trace,
+        measure_from,
+        probe,
+        &FaultSpec::none(),
+    )
+}
+
+/// [`run_server_probed`] under a fault scenario.
+///
+/// The spec is materialized up front into a deterministic event
+/// timeline (horizon: one second past the last trace arrival) and its
+/// events are injected through the discrete-event kernel, so failures
+/// compose with in-flight flows and streams. With [`FaultSpec::none`]
+/// no fault event is scheduled and the run is byte-identical to
+/// [`run_server_probed`].
+///
+/// # Panics
+///
+/// Same conditions as [`run_server`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_server_faulted(
+    cfg: ServerConfig,
+    kinds: Vec<DeployedModel>,
+    instance_kinds: &[usize],
+    trace: Vec<Request>,
+    measure_from: SimTime,
+    probe: Probe,
+    faults: &FaultSpec,
+) -> ServingReport {
     for &k in instance_kinds {
         assert!(k < kinds.len(), "instance references unknown kind {k}");
     }
@@ -434,6 +790,23 @@ pub fn run_server_probed(
         SimTime::ZERO,
         Box::new(|s: &mut ServerState, ctx| schedule_next_arrival(s, ctx)),
     );
+    if !faults.is_empty() {
+        let horizon = sim
+            .state()
+            .pending
+            .iter()
+            .map(|r| r.at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+            + SimDur::from_secs(1);
+        for ev in faults.materialize(horizon) {
+            let kind = ev.kind;
+            sim.schedule_at(
+                ev.at,
+                Box::new(move |s: &mut ServerState, ctx| apply_fault(s, ctx, kind)),
+            );
+        }
+    }
     sim.run_until_idle();
     sim.into_state().report
 }

@@ -93,6 +93,7 @@ pub fn generate(
         out.push(Request {
             at: SimTime::ZERO + SimDur::from_secs_f64(t),
             instance: pick_index(&mut rng, n_heavy),
+            priority: 0,
         });
     }
 
@@ -115,6 +116,7 @@ pub fn generate(
                 out.push(Request {
                     at: SimTime::ZERO + SimDur::from_secs_f64(t),
                     instance: n_heavy + pick_index(&mut rng, n_flux),
+                    priority: 0,
                 });
             }
         }
@@ -141,6 +143,7 @@ pub fn generate(
                 out.push(Request {
                     at: SimTime::ZERO + SimDur::from_secs_f64(at),
                     instance: inst,
+                    priority: 0,
                 });
             }
         }

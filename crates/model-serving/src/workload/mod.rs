@@ -12,4 +12,18 @@ pub struct Request {
     pub at: SimTime,
     /// Target instance id.
     pub instance: usize,
+    /// Scheduling priority for graceful degradation: higher survives
+    /// longer when capacity drops. Generators emit 0 (best effort).
+    pub priority: u8,
+}
+
+impl Request {
+    /// A best-effort (priority 0) request.
+    pub fn new(at: SimTime, instance: usize) -> Self {
+        Request {
+            at,
+            instance,
+            priority: 0,
+        }
+    }
 }

@@ -29,6 +29,7 @@ pub fn generate(
         out.push(Request {
             at: t,
             instance: pick_index(&mut rng, instances),
+            priority: 0,
         });
     }
     out

@@ -122,6 +122,49 @@ pub fn start_flow<S: HasFlowDriver>(
     id
 }
 
+/// Changes a link's capacity mid-simulation (fault injection), keeping
+/// in-flight transfers exact: progress up to now is settled at the old
+/// rates, then all rates are recomputed and the completion tick is
+/// rescheduled.
+///
+/// Must be called from inside an event handler.
+pub fn set_link_capacity<S: HasFlowDriver>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    link: LinkId,
+    capacity: f64,
+) {
+    let now = ctx.now();
+    let d = state.flow_driver();
+    d.net.advance(now);
+    d.net.set_link_capacity(link, capacity);
+    d.gen += 1;
+    d.emit_link_shares(now);
+    fire_completions(state, ctx);
+    reschedule_tick(state, ctx);
+}
+
+/// Cancels an in-flight flow (fault injection: its endpoint died). The
+/// completion callback is dropped, never fired. Returns `false` when
+/// the flow is unknown or already complete — a completed flow's callback
+/// may still be queued for delivery.
+///
+/// Must be called from inside an event handler.
+pub fn cancel_flow<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>, id: FlowId) -> bool {
+    let now = ctx.now();
+    let d = state.flow_driver();
+    d.net.advance(now);
+    if !d.net.cancel_flow(id) {
+        return false;
+    }
+    d.callbacks.remove(&id.0);
+    d.gen += 1;
+    d.emit_link_shares(now);
+    fire_completions(state, ctx);
+    reschedule_tick(state, ctx);
+    true
+}
+
 /// Delivers callbacks for every flow the network has marked complete.
 fn fire_completions<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>) {
     let done = state.flow_driver().net.take_completed();
@@ -168,6 +211,7 @@ mod tests {
     struct World {
         driver: FlowDriver<World>,
         log: Vec<(u64, SimTime)>,
+        started: Vec<crate::flow::FlowId>,
     }
 
     impl HasFlowDriver for World {
@@ -183,6 +227,7 @@ mod tests {
             World {
                 driver: FlowDriver::with_net(net),
                 log: Vec::new(),
+                started: Vec::new(),
             },
             l,
         )
@@ -249,6 +294,76 @@ mod tests {
         assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-6);
         assert_eq!(log[1].0, 1);
         assert!((log[1].1.as_secs_f64() - 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacity_change_moves_completion_time() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        // 100 bytes at 100 B/s would end at t=1.0; halving the link at
+        // t=0.5 leaves 50 bytes at 50 B/s → completion at t=1.5.
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        sim.schedule_at(
+            SimTime::from_nanos(500_000_000),
+            Box::new(move |w: &mut World, ctx| {
+                set_link_capacity(w, ctx, l, 50.0);
+            }),
+        );
+        sim.run_until_idle();
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1);
+        assert!((log[0].1.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_flow_never_calls_back_and_frees_bandwidth() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                let id = start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+                w.started.push(id);
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((2, ctx.now()))),
+                );
+            }),
+        );
+        sim.schedule_at(
+            SimTime::from_nanos(2),
+            Box::new(move |w: &mut World, ctx| {
+                let id = w.started[0];
+                assert!(cancel_flow(w, ctx, id));
+            }),
+        );
+        sim.run_until_idle();
+        // Only flow 2 completes, at full bandwidth from t≈0 (both shared
+        // the link only for the first 2 ns).
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].0, 2);
+        assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-3);
     }
 
     #[test]

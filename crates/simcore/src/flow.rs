@@ -104,6 +104,41 @@ impl FlowNet {
         self.links[link.0].capacity
     }
 
+    /// Changes `link`'s capacity mid-run (fault injection: bandwidth
+    /// degradation or restoration) and recomputes all flow rates.
+    ///
+    /// The caller must have called [`FlowNet::advance`] to the current
+    /// time first so in-flight progress is accounted at the old rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not strictly positive and finite.
+    pub fn set_link_capacity(&mut self, link: LinkId, capacity: f64) {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive"
+        );
+        self.links[link.0].capacity = capacity;
+        self.recompute_rates();
+    }
+
+    /// Removes an in-flight flow without completing it (fault injection:
+    /// the transfer's endpoint died). Returns `false` when the flow is
+    /// unknown or already complete. Remaining flows' rates are
+    /// recomputed, so their shares can only grow.
+    ///
+    /// The caller must have called [`FlowNet::advance`] to the current
+    /// time first.
+    pub fn cancel_flow(&mut self, id: FlowId) -> bool {
+        let before = self.flows.len();
+        self.flows.retain(|f| f.id != id);
+        if self.flows.len() == before {
+            return false;
+        }
+        self.recompute_rates();
+        true
+    }
+
     /// Per-link aggregate load: `(link index, total rate in bytes/sec,
     /// flow count)` for every link crossed by at least one active flow.
     ///
@@ -382,5 +417,37 @@ mod tests {
     #[should_panic(expected = "link capacity")]
     fn rejects_zero_capacity() {
         FlowNet::new().add_link(0.0);
+    }
+
+    #[test]
+    fn capacity_change_rescales_rates_mid_run() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let f = net.add_flow(100.0, vec![l]);
+        net.advance(t(2.0)); // 20 bytes moved, 80 left.
+        net.set_link_capacity(l, 5.0);
+        assert_eq!(net.flow_rate(f), Some(5.0));
+        let done = net.next_completion_time(t(2.0)).unwrap();
+        // 80 bytes at 5 B/s from t=2.
+        assert!((done.as_secs_f64() - 18.0).abs() < 1e-6);
+        net.set_link_capacity(l, 20.0);
+        let done = net.next_completion_time(t(2.0)).unwrap();
+        assert!((done.as_secs_f64() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_flow_frees_its_share() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let a = net.add_flow(100.0, vec![l]);
+        let b = net.add_flow(100.0, vec![l]);
+        assert_eq!(net.flow_rate(a), Some(5.0));
+        assert!(net.cancel_flow(b));
+        assert!(!net.cancel_flow(b), "double cancel is a no-op");
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        assert_eq!(net.flow_rate(b), None);
+        // A cancelled flow never reports completion.
+        net.advance(t(60.0));
+        assert_eq!(net.take_completed(), vec![a]);
     }
 }

@@ -8,6 +8,9 @@
 //!   generic over a user state type.
 //! * [`flow`] — a fluid-flow network with max-min-fair bandwidth sharing,
 //!   used to model PCIe links, PCIe switches and NVLink.
+//! * [`fault`] — deterministic, seed-driven fault injection ([`FaultSpec`]):
+//!   scheduled and probabilistic failure timelines materialized up front so
+//!   every failure scenario replays bit-for-bit.
 //! * [`driver`] — glue that schedules flow-completion events into the
 //!   simulator ([`FlowDriver`], [`HasFlowDriver`]).
 //! * [`slab`] — a tiny generational-free slab allocator for run bookkeeping.
@@ -20,6 +23,7 @@
 //! randomness. Identical inputs replay identical schedules bit-for-bit.
 
 pub mod driver;
+pub mod fault;
 pub mod flow;
 pub mod probe;
 pub mod rng;
@@ -28,9 +32,10 @@ pub mod slab;
 pub mod stats;
 pub mod time;
 
-pub use driver::{start_flow, FlowDriver, HasFlowDriver};
+pub use driver::{cancel_flow, set_link_capacity, start_flow, FlowDriver, HasFlowDriver};
+pub use fault::{FaultEvent, FaultKind, FaultSpec, GpuCrash, LinkFlap, LinkRef};
 pub use flow::{FlowId, FlowNet, LinkId};
-pub use probe::{Probe, ProbeEvent, StallCause};
+pub use probe::{Probe, ProbeEvent, ShedCause, StallCause};
 pub use sim::{Ctx, EventFn, Sim};
 pub use slab::Slab;
 pub use time::{SimDur, SimTime};

@@ -50,6 +50,35 @@ impl StallCause {
     }
 }
 
+/// Why the server shed (dropped) a request instead of serving it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The request's deadline expired before it could be dispatched.
+    Deadline,
+    /// Host pinned-memory pressure evicted the target instance.
+    Pressure,
+    /// No healthy GPU was available to serve the request.
+    NoCapacity,
+    /// Graceful degradation: priority below the configured floor while
+    /// the cluster was degraded.
+    Priority,
+    /// The request exhausted its retry budget after repeated failures.
+    RetriesExhausted,
+}
+
+impl ShedCause {
+    /// Stable lowercase label used by both exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedCause::Deadline => "deadline",
+            ShedCause::Pressure => "pressure",
+            ShedCause::NoCapacity => "no-capacity",
+            ShedCause::Priority => "priority",
+            ShedCause::RetriesExhausted => "retries-exhausted",
+        }
+    }
+}
+
 /// One observation published on the event bus. All payloads are `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeEvent {
@@ -212,6 +241,56 @@ pub enum ProbeEvent {
         rate_bps: f64,
         /// Number of flows crossing the link.
         flows: usize,
+    },
+    /// Fault injection: GPU `gpu` failed; in-flight work on it is lost.
+    GpuFailed {
+        /// Failed GPU index.
+        gpu: usize,
+    },
+    /// Fault injection: GPU `gpu` recovered (empty, cold caches).
+    GpuRecovered {
+        /// Recovered GPU index.
+        gpu: usize,
+    },
+    /// Counter: a link's capacity changed (fault injection).
+    LinkCapacity {
+        /// Link index in the flow network.
+        link: usize,
+        /// New capacity in bytes/sec.
+        capacity_bps: f64,
+    },
+    /// An in-flight inference run was aborted (its GPU died).
+    RunAborted {
+        /// Run slot that was torn down.
+        run: usize,
+        /// GPU the run was executing on.
+        gpu: usize,
+    },
+    /// A request is being retried after a failure.
+    RequestRetried {
+        /// Request id.
+        req: u64,
+        /// Model instance.
+        instance: usize,
+        /// GPU the retry is routed to.
+        gpu: usize,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A request was shed (dropped without service).
+    RequestShed {
+        /// Request id.
+        req: u64,
+        /// Model instance.
+        instance: usize,
+        /// Why it was shed.
+        cause: ShedCause,
+    },
+    /// Counter: pinned host memory available to the model store after
+    /// external pressure is subtracted.
+    HostMemAvailable {
+        /// Bytes the store may pin.
+        bytes: u64,
     },
 }
 
@@ -449,6 +528,42 @@ fn jsonl_line(out: &mut String, e: &Event) {
             out,
             r#"{{"at":{at},"ev":"link_share","link":{link},"rate_bps":{rate_bps:?},"flows":{flows}}}"#
         ),
+        ProbeEvent::GpuFailed { gpu } => {
+            write!(out, r#"{{"at":{at},"ev":"gpu_failed","gpu":{gpu}}}"#)
+        }
+        ProbeEvent::GpuRecovered { gpu } => {
+            write!(out, r#"{{"at":{at},"ev":"gpu_recovered","gpu":{gpu}}}"#)
+        }
+        ProbeEvent::LinkCapacity { link, capacity_bps } => write!(
+            out,
+            r#"{{"at":{at},"ev":"link_capacity","link":{link},"capacity_bps":{capacity_bps:?}}}"#
+        ),
+        ProbeEvent::RunAborted { run, gpu } => write!(
+            out,
+            r#"{{"at":{at},"ev":"run_aborted","run":{run},"gpu":{gpu}}}"#
+        ),
+        ProbeEvent::RequestRetried {
+            req,
+            instance,
+            gpu,
+            attempt,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"request_retried","req":{req},"instance":{instance},"gpu":{gpu},"attempt":{attempt}}}"#
+        ),
+        ProbeEvent::RequestShed {
+            req,
+            instance,
+            cause,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"request_shed","req":{req},"instance":{instance},"cause":"{}"}}"#,
+            cause.as_str()
+        ),
+        ProbeEvent::HostMemAvailable { bytes } => write!(
+            out,
+            r#"{{"at":{at},"ev":"host_mem_available","bytes":{bytes}}}"#
+        ),
     }
     .expect("writing to String cannot fail");
 }
@@ -494,6 +609,12 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
     };
     // run slot → request id, for flow arrows; cleared on first exec.
     let mut run_req: Vec<(usize, u64)> = Vec::new();
+    // Request ids with an open async span, so a shed closes only spans
+    // that were actually opened (pre-enqueue sheds never open one).
+    let mut open_spans: Vec<u64> = Vec::new();
+    // Open duration slices (tid, run) on the engine process: an aborted
+    // run never gets its Finished events, so its slices are closed here.
+    let mut open_b: Vec<(u64, usize)> = Vec::new();
 
     for e in events {
         let us = e.at.as_nanos() as f64 / 1e3;
@@ -508,6 +629,7 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 body.push(format!(
                     r#"{{"name":"req{req}","cat":"request","ph":"b","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"instance":{instance}}}}}"#
                 ));
+                open_spans.push(req);
             }
             ProbeEvent::RequestDispatched {
                 req,
@@ -539,6 +661,7 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 latency_ns,
                 queue_wait_ns,
             } => {
+                open_spans.retain(|&r| r != req);
                 body.push(format!(
                     r#"{{"name":"req{req}","cat":"request","ph":"e","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"cold":{cold},"latency_ms":{:?},"queue_wait_ms":{:?}}}}}"#,
                     latency_ns as f64 / 1e6,
@@ -561,12 +684,16 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 body.push(format!(
                     r#"{{"name":"L{layer}","cat":"exec","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run},"layer":{layer},"dha":{dha}}}}}"#
                 ));
+                open_b.push((gpu as u64, run));
             }
             ProbeEvent::ExecFinished {
                 run: _,
                 layer: _,
                 gpu,
             } => {
+                if let Some(pos) = open_b.iter().rposition(|&(t, _)| t == gpu as u64) {
+                    open_b.remove(pos);
+                }
                 body.push(format!(
                     r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu}}}"#
                 ));
@@ -582,6 +709,7 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     r#"{{"name":"stall","cat":"stall","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run},"layer":{layer},"cause":"{}"}}}}"#,
                     cause.as_str()
                 ));
+                open_b.push((gpu as u64, run));
             }
             ProbeEvent::StallEnded {
                 run: _,
@@ -589,6 +717,9 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 gpu,
                 ns: _,
             } => {
+                if let Some(pos) = open_b.iter().rposition(|&(t, _)| t == gpu as u64) {
+                    open_b.remove(pos);
+                }
                 body.push(format!(
                     r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu}}}"#
                 ));
@@ -604,6 +735,7 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 body.push(format!(
                     r#"{{"name":"L{layer}","cat":"load","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"slot":{slot}}}}}"#
                 ));
+                open_b.push((tid, run));
             }
             ProbeEvent::LoadFinished {
                 run: _,
@@ -612,6 +744,9 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 slot: _,
             } => {
                 let tid = TID_LOAD_BASE + gpu as u64;
+                if let Some(pos) = open_b.iter().rposition(|&(t, _)| t == tid) {
+                    open_b.remove(pos);
+                }
                 body.push(format!(
                     r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid}}}"#
                 ));
@@ -622,6 +757,7 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 body.push(format!(
                     r#"{{"name":"L{layer}","cat":"migrate","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"from":{from}}}}}"#
                 ));
+                open_b.push((tid, run));
             }
             ProbeEvent::MigrateFinished {
                 run: _,
@@ -629,6 +765,9 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                 from,
             } => {
                 let tid = TID_MIGRATE_BASE + from as u64;
+                if let Some(pos) = open_b.iter().rposition(|&(t, _)| t == tid) {
+                    open_b.remove(pos);
+                }
                 body.push(format!(
                     r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid}}}"#
                 ));
@@ -679,6 +818,91 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     r#"{{"name":"bw {}","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"gbps":{:?},"flows":{flows}}}}}"#,
                     escape(&label),
                     rate_bps / 1e9
+                ));
+            }
+            ProbeEvent::GpuFailed { gpu } => {
+                lane(&mut lanes, PID_ENGINE, gpu as u64, format!("gpu{gpu} exec"));
+                body.push(format!(
+                    r#"{{"name":"GPU FAILED","cat":"fault","ph":"i","s":"g","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"gpu":{gpu}}}}}"#
+                ));
+            }
+            ProbeEvent::GpuRecovered { gpu } => {
+                body.push(format!(
+                    r#"{{"name":"gpu recovered","cat":"fault","ph":"i","s":"g","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"gpu":{gpu}}}}}"#
+                ));
+            }
+            ProbeEvent::LinkCapacity { link, capacity_bps } => {
+                let label = opts
+                    .link_names
+                    .get(link)
+                    .cloned()
+                    .unwrap_or_else(|| format!("link{link}"));
+                body.push(format!(
+                    r#"{{"name":"cap {}","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"gbps":{:?}}}}}"#,
+                    escape(&label),
+                    capacity_bps / 1e9
+                ));
+            }
+            ProbeEvent::RunAborted { run, gpu } => {
+                run_req.retain(|(r, _)| *r != run);
+                // The aborted run's Finished events never arrive: close
+                // every duration slice it still has open, on any lane.
+                let mut i = 0;
+                while i < open_b.len() {
+                    if open_b[i].1 == run {
+                        let (tid, _) = open_b.remove(i);
+                        body.push(format!(
+                            r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"aborted":true}}}}"#
+                        ));
+                    } else {
+                        i += 1;
+                    }
+                }
+                body.push(format!(
+                    r#"{{"name":"run aborted","cat":"fault","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{gpu},"args":{{"run":{run}}}}}"#
+                ));
+            }
+            ProbeEvent::RequestRetried {
+                req,
+                instance,
+                gpu,
+                attempt,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"retry","cat":"fault","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"instance":{instance},"attempt":{attempt}}}}}"#
+                ));
+            }
+            ProbeEvent::RequestShed {
+                req,
+                instance,
+                cause,
+            } => {
+                // Close the async request span (matched by id) — but
+                // only if the request got far enough to open one; a
+                // pre-enqueue shed has no span to close.
+                let had_span = open_spans.contains(&req);
+                if had_span {
+                    open_spans.retain(|&r| r != req);
+                    body.push(format!(
+                        r#"{{"name":"req{req}","cat":"request","ph":"e","id":{req},"ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"shed":"{}"}}}}"#,
+                        cause.as_str()
+                    ));
+                }
+                body.push(format!(
+                    r#"{{"name":"shed","cat":"fault","ph":"i","s":"p","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"req":{req},"instance":{instance},"cause":"{}"}}}}"#,
+                    cause.as_str()
+                ));
+            }
+            ProbeEvent::HostMemAvailable { bytes } => {
+                body.push(format!(
+                    r#"{{"name":"host mem available","ph":"C","ts":{us:?},"pid":{PID_SERVING},"args":{{"mib":{:?}}}}}"#,
+                    bytes as f64 / (1u64 << 20) as f64
                 ));
             }
         }
@@ -875,6 +1099,69 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e["ph"] == "C" && e["name"] == "bw pcie gpu0"));
+    }
+
+    #[test]
+    fn fault_events_export_in_both_formats() {
+        let events = vec![
+            Event {
+                at: t(1),
+                what: ProbeEvent::GpuFailed { gpu: 2 },
+            },
+            Event {
+                at: t(2),
+                what: ProbeEvent::RunAborted { run: 4, gpu: 2 },
+            },
+            Event {
+                at: t(3),
+                what: ProbeEvent::RequestRetried {
+                    req: 9,
+                    instance: 1,
+                    gpu: 3,
+                    attempt: 1,
+                },
+            },
+            Event {
+                at: t(4),
+                what: ProbeEvent::RequestShed {
+                    req: 10,
+                    instance: 1,
+                    cause: ShedCause::NoCapacity,
+                },
+            },
+            Event {
+                at: t(5),
+                what: ProbeEvent::LinkCapacity {
+                    link: 0,
+                    capacity_bps: 6.0e9,
+                },
+            },
+            Event {
+                at: t(6),
+                what: ProbeEvent::HostMemAvailable { bytes: 1 << 30 },
+            },
+            Event {
+                at: t(7),
+                what: ProbeEvent::GpuRecovered { gpu: 2 },
+            },
+        ];
+        let out = to_jsonl(&events);
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+            assert!(v["ev"].as_str().is_some());
+        }
+        assert!(out.contains(r#""ev":"gpu_failed","gpu":2"#));
+        assert!(out.contains(r#""cause":"no-capacity""#));
+        let doc = to_perfetto(&events, &PerfettoOptions::default());
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("document parses");
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert!(evs.iter().any(|e| e["name"] == "GPU FAILED"));
+        assert!(evs
+            .iter()
+            .any(|e| e["ph"] == "C" && e["name"] == "cap link0"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "shed" && e["args"]["cause"] == "no-capacity"));
     }
 
     #[test]

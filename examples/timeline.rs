@@ -32,6 +32,7 @@ fn main() {
             skip_exec: false,
             bulk_migrate: false,
             distributed: false,
+            exec_scale: 1.0,
         };
         let (res, trace) = run_traced(machine.clone(), spec);
         println!(

@@ -60,3 +60,97 @@ fn experiment_tables_are_reproducible() {
     let b = bench::experiments::fig11::run();
     assert_eq!(a.rows, b.rows);
 }
+
+mod faulted {
+    //! Fault injection must preserve the determinism contract: seeded
+    //! faults replay byte-identically, and a disabled fault layer is
+    //! byte-identical to the pre-fault serving path.
+
+    use dnn_models::zoo::{build, ModelId};
+    use exec_planner::generate::PlanMode;
+    use gpu_topology::presets::p3_8xlarge;
+    use model_serving::{
+        poisson, run_server_faulted, run_server_probed, DeployedModel, ServerConfig,
+    };
+    use simcore::fault::FaultSpec;
+    use simcore::probe::{to_jsonl, Probe};
+    use simcore::time::SimTime;
+
+    /// One faulted serving run, returned as its JSONL event log.
+    fn jsonl_run(faults: &FaultSpec) -> String {
+        let machine = p3_8xlarge();
+        let mode = PlanMode::PtDha;
+        let cfg = ServerConfig::paper_default(machine.clone(), mode);
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::BertBase),
+            &machine,
+            mode,
+            cfg.max_pt_gpus,
+        )];
+        let instance_kinds = vec![0usize; 40];
+        let trace = poisson::generate(150.0, 40, 500, SimTime::ZERO, 7);
+        let (probe, log) = Probe::logging();
+        run_server_faulted(
+            cfg,
+            kinds,
+            &instance_kinds,
+            trace,
+            SimTime::ZERO,
+            probe,
+            faults,
+        );
+        let events = log.borrow().events.clone();
+        to_jsonl(&events)
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_identically() {
+        let spec = "gpu-fail@1s:gpu=2; gpu-recover@2s:gpu=2; \
+                    link-flap:pcie=0,up=800ms,down=150ms,factor=0.3; \
+                    gpu-crash:gpu=3,mtbf=2s,mttr=400ms";
+        let faults = FaultSpec::parse(spec, 7).expect("valid spec");
+        let a = jsonl_run(&faults);
+        let b = jsonl_run(&faults);
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed + fault spec must replay identically");
+    }
+
+    #[test]
+    fn disabled_faults_are_byte_identical_to_the_probed_baseline() {
+        // `run_server_faulted` with an empty spec must not perturb the
+        // schedule at all — not one extra event, not one shifted
+        // timestamp — relative to the PR 2 `run_server_probed` path.
+        let faulted = jsonl_run(&FaultSpec::none());
+
+        let machine = p3_8xlarge();
+        let mode = PlanMode::PtDha;
+        let cfg = ServerConfig::paper_default(machine.clone(), mode);
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::BertBase),
+            &machine,
+            mode,
+            cfg.max_pt_gpus,
+        )];
+        let instance_kinds = vec![0usize; 40];
+        let trace = poisson::generate(150.0, 40, 500, SimTime::ZERO, 7);
+        let (probe, log) = Probe::logging();
+        run_server_probed(cfg, kinds, &instance_kinds, trace, SimTime::ZERO, probe);
+        let events = log.borrow().events.clone();
+        let baseline = to_jsonl(&events);
+
+        assert_eq!(faulted, baseline);
+    }
+
+    #[test]
+    fn fault_schedules_are_seed_sensitive() {
+        let spec = "link-flap:pcie=1,up=500ms,down=100ms,factor=0.25";
+        let a = FaultSpec::parse(spec, 7).unwrap();
+        let b = FaultSpec::parse(spec, 8).unwrap();
+        let ja = jsonl_run(&a);
+        let jb = jsonl_run(&b);
+        assert_ne!(
+            ja, jb,
+            "different fault seeds should produce different logs"
+        );
+    }
+}

@@ -112,3 +112,47 @@ fn table4_anchor_interference_tolerable() {
         assert!(two < ps, "{id}: interfered {two:.2} !< PipeSwitch {ps:.2}");
     }
 }
+
+#[test]
+fn table2_anchor_same_switch_gpus_halve_host_bandwidth() {
+    // Table 2 / §2.2: on a p3.8xlarge, two GPUs under the same PCIe
+    // switch contend for the shared host uplink — each sees roughly
+    // half its solo host-to-GPU bandwidth (the paper measures the
+    // aggregate staying just above a single GPU's 12 GB/s), while GPUs
+    // under different switches keep full bandwidth.
+    use gpu_topology::netmap::NetMap;
+    use gpu_topology::presets::p3_8xlarge;
+
+    let machine = p3_8xlarge();
+    let solo = {
+        let (mut net, map) = NetMap::build(&machine).expect("valid topology");
+        let f = net.add_flow(1e12, map.host_to_gpu(&machine, 0));
+        net.flow_rate(f).unwrap()
+    };
+
+    // GPUs 0 and 1 share a switch on this machine.
+    assert_eq!(machine.switch_of(0), machine.switch_of(1));
+    let (mut net, map) = NetMap::build(&machine).expect("valid topology");
+    let a = net.add_flow(1e12, map.host_to_gpu(&machine, 0));
+    let b = net.add_flow(1e12, map.host_to_gpu(&machine, 1));
+    let (ra, rb) = (net.flow_rate(a).unwrap(), net.flow_rate(b).unwrap());
+    assert!((ra - rb).abs() < 1e-3, "fair split expected: {ra} vs {rb}");
+    let frac = ra / solo;
+    assert!(
+        (0.5..0.6).contains(&frac),
+        "same-switch share {frac:.3} of solo ({ra:.3e} vs {solo:.3e}); Table 2 expects ~half"
+    );
+
+    // Different switches: no shared uplink, full solo bandwidth each.
+    assert_ne!(machine.switch_of(0), machine.switch_of(2));
+    let (mut net, map) = NetMap::build(&machine).expect("valid topology");
+    let a = net.add_flow(1e12, map.host_to_gpu(&machine, 0));
+    let c = net.add_flow(1e12, map.host_to_gpu(&machine, 2));
+    for f in [a, c] {
+        let r = net.flow_rate(f).unwrap();
+        assert!(
+            (r - solo).abs() / solo < 1e-6,
+            "cross-switch flow throttled: {r:.3e} vs solo {solo:.3e}"
+        );
+    }
+}

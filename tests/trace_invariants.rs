@@ -20,6 +20,7 @@ fn traced(mode: PlanMode) -> (exec_engine::InferenceResult, exec_engine::Trace) 
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
+        exec_scale: 1.0,
     };
     run_traced(machine, spec)
 }
