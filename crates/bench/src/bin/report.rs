@@ -12,8 +12,8 @@ use std::fs;
 use std::path::Path;
 
 use bench::experiments::{
-    ablations, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, table1,
-    table3, table4, table5,
+    ablations, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, overload,
+    recovery, table1, table3, table4, table5,
 };
 use bench::Table;
 
@@ -48,6 +48,8 @@ fn run_one(name: &str) -> bool {
         "fig15" => emit("fig15_maf_trace", fig15::run()),
         "fig16" => emit("fig16_pcie4", fig16::run()),
         "faults" => emit("faults_matrix", faults::run()),
+        "recovery" => emit("recovery_ablation", recovery::run()),
+        "overload" => emit("overload_control", overload::run()),
         "ablations" => {
             for (i, t) in ablations::run_all().into_iter().enumerate() {
                 emit(&format!("ablation_{i}"), t);
@@ -87,6 +89,8 @@ const ALL: &[&str] = &[
     "fig15",
     "fig16",
     "faults",
+    "recovery",
+    "overload",
     "ablations",
 ];
 

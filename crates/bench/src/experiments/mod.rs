@@ -11,6 +11,8 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod overload;
+pub mod recovery;
 pub mod serving;
 pub mod table1;
 pub mod table3;

@@ -8,12 +8,17 @@
 //! deepplan-cli simulate bert-base [--mode pt+dha] [--batch N]
 //! deepplan-cli serve bert-base [--mode pt+dha] [--concurrency N] [--requests N]
 //!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
-//!     [--faults SPEC] [--deadline-ms N]
+//!     [--faults SPEC] [--deadline-ms N] [--recovery] [--queue-cap N]
 //! ```
 //!
 //! `--faults` takes the fault DSL (see `simcore::fault::FaultSpec::parse`),
 //! e.g. `--faults 'gpu-fail@2s:gpu=1; gpu-recover@4s:gpu=1'` or
 //! `--faults 'link-flap:pcie=0,up=2s,down=300ms,factor=0.3'`.
+//!
+//! `--recovery` turns on the self-healing control plane: every health
+//! transition re-plans against the degraded topology, hot-swaps the
+//! serving plan, and rolls back when capacity returns. `--queue-cap`
+//! bounds each GPU's admission queue (overload backpressure).
 
 use deepplan::excerpt::{excerpt, format_excerpt};
 use deepplan::{DeepPlan, ModelId, PlanMode};
@@ -42,6 +47,8 @@ struct Args {
     events_out: Option<String>,
     faults: Option<String>,
     deadline_ms: Option<u64>,
+    recovery: bool,
+    queue_cap: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -50,7 +57,7 @@ fn usage() -> ! {
          [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
          [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
          [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
-         [--faults SPEC] [--deadline-ms N]"
+         [--faults SPEC] [--deadline-ms N] [--recovery] [--queue-cap N]"
     );
     std::process::exit(2)
 }
@@ -90,6 +97,8 @@ fn parse() -> Args {
         events_out: None,
         faults: None,
         deadline_ms: None,
+        recovery: false,
+        queue_cap: None,
     };
     let mut it = argv.iter().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -162,6 +171,14 @@ fn parse() -> Args {
             "--faults" => args.faults = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--deadline-ms" => {
                 args.deadline_ms = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--recovery" => args.recovery = true,
+            "--queue-cap" => {
+                args.queue_cap = Some(
                     it.next()
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage()),
@@ -280,6 +297,8 @@ fn main() {
             if let Some(ms) = args.deadline_ms {
                 cfg.faults.deadline = Some(SimDur::from_millis(ms));
             }
+            cfg.recovery.enabled = args.recovery;
+            cfg.admission.queue_cap = args.queue_cap;
             let faults = match &args.faults {
                 Some(spec) => FaultSpec::parse(spec, args.seed).unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -333,11 +352,19 @@ fn main() {
                     report.gpu_failures, report.aborted_runs, report.retries, report.shed
                 );
             }
+            if args.recovery {
+                println!(
+                    "  recovery: {} re-plan(s), {} live migration(s)",
+                    report.replans, report.plan_migrations
+                );
+            }
             if let Some(log) = log {
                 let events = &log.borrow().events;
                 if let Some(path) = &args.events_out {
-                    std::fs::write(path, to_jsonl(events))
-                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    if let Err(e) = std::fs::write(path, to_jsonl(events)) {
+                        eprintln!("error: writing {path}: {e}");
+                        std::process::exit(1);
+                    }
                     println!("  wrote {} event(s) to {path}", events.len());
                 }
                 if let Some(path) = &args.trace_out {
@@ -345,8 +372,10 @@ fn main() {
                     let opts = PerfettoOptions {
                         link_names: map.link_names(),
                     };
-                    std::fs::write(path, to_perfetto(events, &opts))
-                        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                    if let Err(e) = std::fs::write(path, to_perfetto(events, &opts)) {
+                        eprintln!("error: writing {path}: {e}");
+                        std::process::exit(1);
+                    }
                     println!("  wrote Perfetto trace to {path}");
                 }
             }

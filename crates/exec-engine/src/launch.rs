@@ -30,6 +30,35 @@ use crate::trace::TraceKind;
 /// Completion callback of a run.
 pub type DoneFn<S> = Box<dyn FnOnce(&mut S, &mut Ctx<S>, InferenceResult)>;
 
+/// Typed launch failure: the spec routes traffic over hardware paths the
+/// machine does not have. Returned by [`start_inference`] *before* any
+/// state is touched or events scheduled, so a failed launch is free to
+/// retry with a different spec (e.g. with the offending secondaries
+/// dropped) — this is what lets a recovery manager treat a stale plan on
+/// a degraded topology as a recoverable condition instead of a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// Two GPUs the plan transfers between are not NVLink-connected.
+    MissingNvlink {
+        /// Source GPU.
+        from: usize,
+        /// Destination GPU.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::MissingNvlink { from, to } => {
+                write!(f, "plan requires NVLink between GPUs {from} and {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Everything needed to launch one run.
 pub struct LaunchSpec {
     /// Runtime table of the model at the request's batch size.
@@ -158,9 +187,46 @@ fn slot_gpu(spec: &LaunchSpec, slot: usize) -> (usize, bool) {
     }
 }
 
+/// Every GPU→GPU pair `spec` will transfer over: secondary partitions
+/// forwarded to the primary, and (under distributed execution) the hops
+/// between consecutive layer owners plus the final back-hop. NVLink
+/// connectivity in the [`gpu_topology::netmap::NetMap`] is static —
+/// capacities change mid-run, path *existence* never does — so checking
+/// these pairs at launch time fully decides executability.
+fn required_nvlink_pairs(spec: &LaunchSpec) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for (slot, part) in spec.plan.partitions.iter().enumerate().skip(1) {
+        if part.is_empty() {
+            continue;
+        }
+        let (gpu, migrates) = slot_gpu(spec, slot);
+        if migrates {
+            pairs.push((gpu, spec.primary));
+        }
+    }
+    if spec.distributed {
+        let mut current = spec.primary;
+        for o in spec.owners().into_iter().chain([spec.primary]) {
+            if o != current {
+                pairs.push((current, o));
+                current = o;
+            }
+        }
+    }
+    pairs
+}
+
 /// Launches a run; `on_done` fires with the [`InferenceResult`].
 ///
 /// Must be called from inside an event handler.
+///
+/// # Errors
+///
+/// Returns [`EngineError::MissingNvlink`] when the spec needs a GPU→GPU
+/// path the machine lacks (e.g. a parallel-transmission plan executed
+/// with a secondary that lost its NVLink partner). Nothing has been
+/// inserted or scheduled on error — the caller may relaunch with an
+/// adjusted spec.
 ///
 /// # Panics
 ///
@@ -171,7 +237,7 @@ pub fn start_inference<S: HasHw>(
     ctx: &mut Ctx<S>,
     spec: LaunchSpec,
     on_done: DoneFn<S>,
-) -> RunRef {
+) -> Result<RunRef, EngineError> {
     let n = spec.rt.layer_count();
     assert_eq!(
         spec.plan.decisions.len(),
@@ -182,6 +248,12 @@ pub fn start_inference<S: HasHw>(
         spec.exec_scale.is_finite() && spec.exec_scale > 0.0,
         "exec_scale must be positive and finite"
     );
+    for (from, to) in required_nvlink_pairs(&spec) {
+        let hw = state.hw();
+        if hw.map.gpu_to_gpu(&hw.machine, from, to).is_none() {
+            return Err(EngineError::MissingNvlink { from, to });
+        }
+    }
     let now = ctx.now();
     let mut ready = vec![false; n];
     let mut loads_pending = 0usize;
@@ -247,7 +319,7 @@ pub fn start_inference<S: HasHw>(
     } else {
         exec_try(state, ctx, r);
     }
-    r
+    Ok(r)
 }
 
 /// Issues position `pos` of transmission slot `slot`'s partition.
@@ -384,11 +456,14 @@ fn bulk_forward<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usiz
                 .map(|nv| nv.launch_overhead_ns)
                 .unwrap_or(0),
         );
-        let path = hw
-            .map
-            .gpu_to_gpu(&hw.machine, sec, primary)
-            .unwrap_or_else(|| panic!("plan requires NVLink between GPUs {sec} and {primary}"));
-        (overhead, path)
+        (overhead, hw.map.gpu_to_gpu(&hw.machine, sec, primary))
+    };
+    let Some(path) = path else {
+        // Unreachable after the launch-time check in [`start_inference`]
+        // (NetMap connectivity is static); tear the run down instead of
+        // poisoning the sim if a caller ever bypasses it.
+        abort_run(state, ctx, r);
+        return;
     };
     ctx.schedule_in(
         overhead,
@@ -434,11 +509,13 @@ fn mig_pump<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize) {
                 .map(|nv| nv.launch_overhead_ns)
                 .unwrap_or(0),
         );
-        let path = hw
-            .map
-            .gpu_to_gpu(&hw.machine, sec, primary)
-            .unwrap_or_else(|| panic!("plan requires NVLink between GPUs {sec} and {primary}"));
-        (overhead, path)
+        (overhead, hw.map.gpu_to_gpu(&hw.machine, sec, primary))
+    };
+    let Some(path) = path else {
+        // Unreachable after the launch-time check in [`start_inference`];
+        // defensive teardown, see `bulk_forward`.
+        abort_run(state, ctx, r);
+        return;
     };
     ctx.schedule_in(
         overhead,
@@ -696,10 +773,13 @@ fn hop<S: HasHw>(
                 .map(|nv| nv.launch_overhead_ns)
                 .unwrap_or(0),
         );
-        let path = hw.map.gpu_to_gpu(&hw.machine, from, to).unwrap_or_else(|| {
-            panic!("distributed execution requires NVLink between GPUs {from} and {to}")
-        });
-        (overhead, path)
+        (overhead, hw.map.gpu_to_gpu(&hw.machine, from, to))
+    };
+    let Some(path) = path else {
+        // Unreachable after the launch-time check in [`start_inference`];
+        // defensive teardown, see `bulk_forward`.
+        abort_run(state, ctx, r);
+        return;
     };
     ctx.schedule_in(
         overhead,

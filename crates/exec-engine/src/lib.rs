@@ -19,7 +19,7 @@ pub mod timeline;
 pub mod trace;
 
 pub use hw::{HasHw, HwState, RunRef};
-pub use launch::{abort_run, start_inference, LaunchSpec};
+pub use launch::{abort_run, start_inference, EngineError, LaunchSpec};
 pub use result::InferenceResult;
 pub use runtime::ModelRuntime;
 pub use single::{run_cold, run_traced, run_transfer_only, run_warm, SingleRun};

@@ -65,7 +65,8 @@ pub fn run_at(
                     Box::new(move |s: &mut SingleRun, _ctx, res| {
                         s.results[i] = Some(res);
                     }),
-                );
+                )
+                .expect("launch spec requires NVLink the machine lacks");
             }),
         );
     }
@@ -147,7 +148,8 @@ pub fn run_traced(
                 Box::new(move |s: &mut SingleRun, _ctx, res| {
                     s.results[0] = Some(res);
                 }),
-            );
+            )
+            .expect("launch spec requires NVLink the machine lacks");
         }),
     );
     sim.run_until_idle();

@@ -19,6 +19,7 @@
 
 pub mod algorithm;
 pub mod budget;
+pub mod degraded;
 pub mod generate;
 pub mod partition;
 pub mod plan;
@@ -26,6 +27,7 @@ pub mod stall;
 pub mod transmission;
 pub mod validate;
 
+pub use degraded::generate_degraded;
 pub use generate::{generate, PlanMode};
 pub use plan::{ExecutionPlan, LayerExec};
 pub use stall::{estimate_pipeline, ScheduleEstimate};

@@ -45,7 +45,19 @@ pub fn plan_transmission(
         .map(|p| pt_group(machine, p, max_gpus).map(|g| g.len()).unwrap_or(1))
         .max()
         .unwrap_or(1);
+    plan_transmission_with_slots(param_bytes, decisions, slots)
+}
 
+/// [`plan_transmission`] with the slot count already decided.
+///
+/// Degraded-topology replanning probes group widths through a health
+/// mask instead of the raw machine, then hands the resulting count here.
+pub fn plan_transmission_with_slots(
+    param_bytes: &[u64],
+    decisions: &[LayerExec],
+    slots: usize,
+) -> Transmission {
+    assert_eq!(param_bytes.len(), decisions.len());
     if slots <= 1 {
         let loads: Vec<usize> = (0..decisions.len())
             .filter(|&i| decisions[i] == LayerExec::Load && param_bytes[i] > 0)

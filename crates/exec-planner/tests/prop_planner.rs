@@ -1,9 +1,14 @@
 //! Property tests for partitioning, Algorithm 1 and plan validation.
 
 use exec_planner::algorithm::{plan_dha, plan_naive_dha};
+use exec_planner::generate::{generate, PlanMode};
+use exec_planner::generate_degraded;
 use exec_planner::partition::partition_by_bytes;
 use exec_planner::plan::LayerExec;
 use exec_planner::stall::estimate_pipeline;
+use exec_planner::validate::validate;
+use gpu_topology::machine::Machine;
+use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
 use layer_profiler::profile::{LayerProfile, ModelProfile};
 use proptest::prelude::*;
 use simcore::time::SimDur;
@@ -128,5 +133,60 @@ proptest! {
         let pipe = estimate_pipeline(&profile, &all_load, true);
         let base = estimate_pipeline(&profile, &all_load, false);
         prop_assert!(base.total >= pipe.total);
+    }
+
+    #[test]
+    fn degraded_replans_validate_and_avoid_dead_gpus(
+        profile in arb_profile(),
+        machine_pick in 0usize..4,
+        mask_bits in any::<u16>(),
+        factor_bits in prop::collection::vec(
+            prop_oneof![Just(1.0f64), 0.05f64..1.0],
+            8,
+        ),
+        mode_pick in 0usize..5,
+    ) {
+        let machine: Machine = match machine_pick {
+            0 => p3_8xlarge(),
+            1 => single_v100(),
+            2 => a5000_dual(),
+            _ => dgx1_like(),
+        };
+        let mode = [
+            PlanMode::Baseline,
+            PlanMode::PipeSwitch,
+            PlanMode::Dha,
+            PlanMode::Pt,
+            PlanMode::PtDha,
+        ][mode_pick];
+        let n = machine.gpu_count();
+        let mut up: Vec<bool> = (0..n).map(|g| mask_bits & (1 << g) != 0).collect();
+        if !up.iter().any(|&u| u) {
+            up[0] = true; // At least one survivor, or there is no server.
+        }
+        let factors: Vec<f64> = factor_bits.into_iter().take(n).collect();
+
+        let plan = generate_degraded(&profile, &machine, mode, 2, &up, &factors);
+        // The degraded plan must validate against the ORIGINAL profile:
+        // re-planning changes the cost model, never the model itself.
+        prop_assert!(
+            validate(&plan, &profile).is_ok(),
+            "degraded plan fails validation (mode {mode:?}, up {up:?})"
+        );
+        // Never wider than the surviving GPU set: a slot is a GPU, and
+        // dead GPUs cannot hold one.
+        let up_count = up.iter().filter(|&&u| u).count();
+        prop_assert!(plan.gpu_slots() >= 1);
+        prop_assert!(
+            plan.gpu_slots() <= up_count.max(1),
+            "{} slots for {} surviving GPUs",
+            plan.gpu_slots(),
+            up_count
+        );
+        // Fully healthy inputs must reproduce the healthy plan exactly
+        // (this is the rollback path).
+        if up.iter().all(|&u| u) && factors.iter().all(|&f| f == 1.0) {
+            prop_assert_eq!(plan, generate(&profile, &machine, mode, 2));
+        }
     }
 }

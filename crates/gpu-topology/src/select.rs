@@ -49,6 +49,48 @@ pub fn pt_group(
     Ok(group)
 }
 
+/// [`pt_group`] restricted to the GPUs marked `true` in `up`.
+///
+/// Used when replanning against a degraded topology: down GPUs can be
+/// neither primaries nor secondaries. Indices beyond `up.len()` are
+/// treated as up, so an empty mask degenerates to [`pt_group`].
+///
+/// # Errors
+///
+/// Returns [`TopologyError::UnknownGpu`] if `primary` is out of range.
+/// A down `primary` yields a group of just itself (callers should not
+/// plan from dead primaries in the first place).
+pub fn pt_group_masked(
+    machine: &Machine,
+    primary: usize,
+    max_gpus: usize,
+    up: &[bool],
+) -> Result<Vec<usize>, TopologyError> {
+    if primary >= machine.gpu_count() {
+        return Err(TopologyError::UnknownGpu(primary));
+    }
+    let is_up = |g: usize| up.get(g).copied().unwrap_or(true);
+    let mut group = vec![primary];
+    if !is_up(primary) {
+        return Ok(group);
+    }
+    let mut used_switches = vec![machine.switch_of(primary)];
+    for g in 0..machine.gpu_count() {
+        if group.len() >= max_gpus {
+            break;
+        }
+        if g == primary || !is_up(g) || used_switches.contains(&machine.switch_of(g)) {
+            continue;
+        }
+        if !machine.nvlinked(primary, g) {
+            continue;
+        }
+        used_switches.push(machine.switch_of(g));
+        group.push(g);
+    }
+    Ok(group)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +149,41 @@ mod tests {
     fn unknown_primary_errors() {
         let m = single_v100();
         assert!(pt_group(&m, 9, 2).is_err());
+    }
+
+    #[test]
+    fn masked_group_matches_unmasked_when_all_up() {
+        let m = p3_8xlarge();
+        for primary in 0..4 {
+            let all_up = vec![true; 4];
+            assert_eq!(
+                pt_group_masked(&m, primary, usize::MAX, &all_up).unwrap(),
+                pt_group(&m, primary, usize::MAX).unwrap()
+            );
+            // Empty mask means "everything up".
+            assert_eq!(
+                pt_group_masked(&m, primary, usize::MAX, &[]).unwrap(),
+                pt_group(&m, primary, usize::MAX).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn masked_group_skips_down_secondaries() {
+        let m = p3_8xlarge();
+        // GPU 0's natural partner is 2 (switch 1); with 2 down, GPU 3
+        // (also switch 1, NVLink all-to-all) takes its slot.
+        let up = vec![true, true, false, true];
+        assert_eq!(pt_group_masked(&m, 0, usize::MAX, &up).unwrap(), vec![0, 3]);
+        // The whole other switch down collapses the group to the primary.
+        let up = vec![true, true, false, false];
+        assert_eq!(pt_group_masked(&m, 0, usize::MAX, &up).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn masked_group_from_down_primary_is_singleton() {
+        let m = p3_8xlarge();
+        let up = vec![false, true, true, true];
+        assert_eq!(pt_group_masked(&m, 0, usize::MAX, &up).unwrap(), vec![0]);
     }
 }

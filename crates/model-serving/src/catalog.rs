@@ -7,6 +7,7 @@ use exec_engine::runtime::ModelRuntime;
 use exec_planner::generate::{generate, PlanMode};
 use exec_planner::plan::ExecutionPlan;
 use gpu_topology::machine::Machine;
+use layer_profiler::profile::ModelProfile;
 use layer_profiler::profiler::Profiler;
 
 /// A model as deployed on the server: one entry per *kind*; many
@@ -18,6 +19,9 @@ pub struct DeployedModel {
     pub rt: Arc<ModelRuntime>,
     /// Cold-start plan under the server's mode.
     pub plan: Arc<ExecutionPlan>,
+    /// Layer profile the plan was generated from; kept so the recovery
+    /// manager can re-plan against a degraded topology at runtime.
+    pub profile: Arc<ModelProfile>,
     /// GPU bytes one resident instance occupies.
     pub resident_bytes: u64,
 }
@@ -33,6 +37,7 @@ impl DeployedModel {
         DeployedModel {
             rt,
             plan,
+            profile: Arc::new(profile),
             resident_bytes,
         }
     }

@@ -39,6 +39,56 @@ impl Default for FaultPolicy {
     }
 }
 
+/// Self-healing knobs: whether and how the server re-plans around a
+/// degraded topology.
+///
+/// Disabled by default — a healthy run with recovery off is byte-identical
+/// to the pre-recovery server, and even with recovery *on* a run that sees
+/// no health transitions never re-plans.
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Master switch for the recovery manager (re-plan on health
+    /// transitions, plan hot-swap, rollback when capacity returns).
+    pub enabled: bool,
+    /// Hysteresis window: a health transition arms a re-plan that only
+    /// fires if no *further* transition lands within this window, so a
+    /// flapping link produces one re-plan, not one per flap edge.
+    pub settle: SimDur,
+    /// When a swapped-in plan needs more resident bytes than the old one
+    /// (e.g. rollback from DHA-heavy back to the full plan), stream the
+    /// delta to already-loaded instances over the host link instead of
+    /// waiting for natural cold starts.
+    pub migrate: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            enabled: false,
+            settle: SimDur::from_millis(100),
+            migrate: true,
+        }
+    }
+}
+
+/// Overload control: bounded admission queues and SLO-aware rejection.
+///
+/// All defaults are inert — no cap, no early rejection, no escalation —
+/// so an unconfigured server admits exactly as before.
+#[derive(Debug, Clone, Default)]
+pub struct AdmissionPolicy {
+    /// Per-GPU queue bound; an arrival routed to a full queue is shed
+    /// immediately instead of growing the queue without limit.
+    pub queue_cap: Option<usize>,
+    /// Early rejection: shed an arrival whose estimated queue wait
+    /// already exceeds `factor × slo`, rather than serving it late.
+    pub slo_reject_factor: Option<f64>,
+    /// Priority-aware shedding escalation: as a bounded queue fills past
+    /// half its cap, the minimum admitted priority ramps linearly from 0
+    /// up to this value at the cap. 0 disables escalation.
+    pub escalate_priority: u8,
+}
+
 /// Configuration of one serving experiment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -64,6 +114,10 @@ pub struct ServerConfig {
     pub bucket: SimDur,
     /// Robustness policy (deadlines, retries, shedding).
     pub faults: FaultPolicy,
+    /// Self-healing policy (re-plan, hot-swap, migrate, rollback).
+    pub recovery: RecoveryPolicy,
+    /// Overload-control policy (bounded queues, early rejection).
+    pub admission: AdmissionPolicy,
 }
 
 impl ServerConfig {
@@ -80,6 +134,8 @@ impl ServerConfig {
             eviction: EvictionPolicy::Lru,
             bucket: SimDur::from_secs(60),
             faults: FaultPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            admission: AdmissionPolicy::default(),
         }
     }
 

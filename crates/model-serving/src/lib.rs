@@ -22,7 +22,7 @@ pub mod server;
 pub mod workload;
 
 pub use catalog::DeployedModel;
-pub use config::{FaultPolicy, ServerConfig};
+pub use config::{AdmissionPolicy, FaultPolicy, RecoveryPolicy, ServerConfig};
 pub use metrics::ServingReport;
 pub use server::{run_server, run_server_faulted, run_server_probed};
 pub use workload::{maf, poisson, Request};

@@ -51,13 +51,26 @@ pub fn make_room(
     cache: &mut GpuCache,
     gpu: usize,
     instances: &mut [Instance],
-    sizes: &[u64],
+    resident: &[u64],
     bytes: u64,
 ) -> Option<Vec<usize>> {
-    make_room_with(cache, gpu, instances, sizes, bytes, EvictionPolicy::Lru, 0)
+    make_room_with(
+        cache,
+        gpu,
+        instances,
+        resident,
+        bytes,
+        EvictionPolicy::Lru,
+        0,
+    )
 }
 
 /// [`make_room`] with an explicit eviction policy.
+///
+/// `resident` gives the bytes each *instance* currently occupies
+/// (instance-id indexed, not kind indexed): after a plan hot-swap,
+/// instances loaded under the old plan keep their old footprint until
+/// evicted or migrated, so sizes cannot be derived from the kind alone.
 ///
 /// `tick` seeds the random policy deterministically (pass any counter
 /// that advances between calls).
@@ -65,7 +78,7 @@ pub fn make_room_with(
     cache: &mut GpuCache,
     gpu: usize,
     instances: &mut [Instance],
-    sizes: &[u64],
+    resident: &[u64],
     bytes: u64,
     policy: EvictionPolicy,
     tick: u64,
@@ -102,12 +115,12 @@ pub fn make_room_with(
             // Roll back: re-mark evicted instances resident.
             for &id in &evicted {
                 instances[id].residency = Residency::Resident(gpu);
-                cache.used += sizes[instances[id].kind];
+                cache.used += resident[id];
             }
             return None;
         };
         instances[id].residency = Residency::NotResident;
-        cache.used = cache.used.saturating_sub(sizes[instances[id].kind]);
+        cache.used = cache.used.saturating_sub(resident[id]);
         evicted.push(id);
     }
     Some(evicted)
@@ -127,7 +140,7 @@ mod tests {
 
     #[test]
     fn evicts_lru_first() {
-        let sizes = vec![40u64];
+        let sizes = vec![40u64, 40];
         let mut cache = GpuCache::new(100);
         cache.used = 80;
         let mut inst = vec![resident(0, 0, 10), resident(0, 0, 5)];
@@ -163,7 +176,7 @@ mod tests {
 
     #[test]
     fn other_gpus_instances_not_touched() {
-        let sizes = vec![60u64];
+        let sizes = vec![60u64, 60];
         let mut cache = GpuCache::new(100);
         cache.used = 60;
         let mut inst = vec![resident(0, 1, 10), resident(0, 0, 5)];

@@ -28,6 +28,12 @@ pub struct ServingReport {
     pub gpu_failures: u64,
     /// In-flight runs aborted by GPU failures.
     pub aborted_runs: u64,
+    /// Re-plan passes by the recovery manager: settled topology
+    /// transitions whose health signature differed from the active one.
+    pub replans: u64,
+    /// Live plan migrations: resident instances whose on-GPU bytes were
+    /// grown in place after a plan swap.
+    pub plan_migrations: u64,
     /// SLO used for goodput.
     pub slo: SimDur,
 }
@@ -47,6 +53,8 @@ impl ServingReport {
             retries: 0,
             gpu_failures: 0,
             aborted_runs: 0,
+            replans: 0,
+            plan_migrations: 0,
             slo,
         }
     }

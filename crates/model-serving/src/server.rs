@@ -11,13 +11,17 @@
 //! interference the paper measures in Table 4).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use exec_engine::hw::{HasHw, HwState, RunRef};
-use exec_engine::launch::{abort_run, start_inference, LaunchSpec};
+use exec_engine::launch::{abort_run, start_inference, DoneFn, LaunchSpec};
+use exec_planner::generate_degraded;
+use exec_planner::plan::ExecutionPlan;
 use gpu_topology::health::{GpuHealth, LinkHealth};
 use gpu_topology::select::pt_group;
-use simcore::driver::{set_link_capacity, FlowDriver, HasFlowDriver};
+use simcore::driver::{set_link_capacity, start_flow, FlowDriver, HasFlowDriver};
 use simcore::fault::{FaultKind, FaultSpec};
+use simcore::flow::LinkId;
 use simcore::probe::{Probe, ProbeEvent, ShedCause};
 use simcore::sim::{Ctx, Sim};
 use simcore::time::{SimDur, SimTime};
@@ -78,6 +82,23 @@ pub struct ServerState {
     pressure_bytes: u64,
     /// Compute-time multiplier applied to newly dispatched runs.
     slowdown: f64,
+    // --- recovery state (inert unless cfg.recovery.enabled) ---
+    /// Monotonic counter of health transitions; a settle timer only
+    /// fires a re-plan if no newer transition superseded it (hysteresis).
+    topo_epoch: u64,
+    /// The plan each kind currently dispatches with. Starts as the same
+    /// `Arc` as `kinds[k].plan`; the recovery manager swaps in degraded
+    /// plans and rolls back to the original when health returns.
+    active_plans: Vec<Arc<ExecutionPlan>>,
+    /// Topology signature (`gpu_up`, per-GPU host-path factor bits) the
+    /// active plans were generated for; re-plans that resolve to the
+    /// same signature are skipped.
+    plan_signature: Option<(Vec<bool>, Vec<u64>)>,
+    /// GPU bytes each *instance* currently occupies. Tracked per
+    /// instance (not per kind) because after a plan swap, instances
+    /// loaded under the old plan keep their old footprint until evicted
+    /// or migrated.
+    inst_resident: Vec<u64>,
 }
 
 impl HasFlowDriver for ServerState {
@@ -114,6 +135,8 @@ impl ServerState {
         let n_inst = instance_kinds.len();
         let report = ServingReport::new(cfg.slo, cfg.bucket);
         let link_health = LinkHealth::snapshot(&flows.net);
+        let active_plans: Vec<Arc<ExecutionPlan>> = kinds.iter().map(|k| k.plan.clone()).collect();
+        let inst_resident: Vec<u64> = instance_kinds.iter().map(|&k| sizes[k]).collect();
         ServerState {
             hw,
             flows,
@@ -137,6 +160,10 @@ impl ServerState {
             pinned_total,
             pressure_bytes: 0,
             slowdown: 1.0,
+            topo_epoch: 0,
+            active_plans,
+            plan_signature: None,
+            inst_resident,
         }
     }
 
@@ -267,6 +294,9 @@ fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
             }
         },
     };
+    if !admit(s, ctx, req_id, &req, g) {
+        return;
+    }
     s.queues[g].push_back(Queued {
         req: req_id,
         instance: req.instance,
@@ -284,6 +314,53 @@ fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
     );
     s.emit_queue_depth(ctx.now(), g);
     try_dispatch(s, ctx, g);
+}
+
+/// Overload control at the admission edge (backpressure instead of
+/// collapse): bounded queues, priority escalation as a queue fills, and
+/// SLO-aware early rejection. Returns whether the request may enqueue on
+/// GPU `g`; a rejected request is shed here. All checks are inert under
+/// the default [`crate::config::AdmissionPolicy`].
+fn admit(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    req_id: u64,
+    req: &Request,
+    g: usize,
+) -> bool {
+    let depth = s.queues[g].len() + usize::from(s.busy[g]);
+    if let Some(cap) = s.cfg.admission.queue_cap {
+        if depth >= cap {
+            s.shed(ctx.now(), req_id, req.instance, ShedCause::QueueFull);
+            return false;
+        }
+        // Shedding escalation: past half the cap, the minimum admitted
+        // priority ramps linearly toward `escalate_priority` at the cap,
+        // so low-priority traffic backs off before the queue is full.
+        let esc = u64::from(s.cfg.admission.escalate_priority);
+        let half = cap - cap / 2;
+        if esc > 0 && depth >= cap / 2 && half > 0 {
+            let over = (depth - cap / 2) as u64;
+            let floor = esc * over / half as u64;
+            if u64::from(req.priority) < floor {
+                s.shed(ctx.now(), req_id, req.instance, ShedCause::QueueFull);
+                return false;
+            }
+        }
+    }
+    if let Some(factor) = s.cfg.admission.slo_reject_factor {
+        // Optimistic wait estimate: everything ahead runs warm. If even
+        // that already blows `factor × SLO`, serving this request late
+        // only wastes capacity — reject it now.
+        let kind = s.instances[req.instance].kind;
+        let per_req = s.kinds[kind].profile.exec_inmem_total().as_nanos() as f64;
+        let est_wait = per_req * depth as f64;
+        if est_wait > factor * s.cfg.slo.as_nanos() as f64 {
+            s.shed(ctx.now(), req_id, req.instance, ShedCause::SloReject);
+            return false;
+        }
+    }
+    true
 }
 
 /// Dispatches the head of GPU `g`'s queue if the GPU is idle and up.
@@ -332,7 +409,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
                 &mut caches[g],
                 g,
                 instances,
-                &s.sizes,
+                &s.inst_resident,
                 bytes,
                 s.cfg.eviction,
                 ctx.now().as_nanos(),
@@ -342,6 +419,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             Some(victims) => {
                 s.report.evictions += victims.len() as u64;
                 s.caches[g].used += bytes;
+                s.inst_resident[inst_id] = bytes;
                 s.instances[inst_id].residency = Residency::Loading(g);
                 s.emit_cache(ctx.now(), g);
             }
@@ -364,8 +442,9 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             .push((ctx.now() - q.arrival).as_ms_f64());
     }
 
-    let dm = &s.kinds[kind];
-    let secondaries: Vec<usize> = if !warm && dm.plan.gpu_slots() > 1 {
+    let rt = s.kinds[kind].rt.clone();
+    let plan = s.active_plans[kind].clone();
+    let secondaries: Vec<usize> = if !warm && plan.gpu_slots() > 1 {
         pt_group(&s.cfg.machine, g, s.cfg.max_pt_gpus)
             .map(|grp| {
                 grp.into_iter()
@@ -380,8 +459,8 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         Vec::new()
     };
     let spec = LaunchSpec {
-        rt: dm.rt.clone(),
-        plan: dm.plan.clone(),
+        rt: rt.clone(),
+        plan: plan.clone(),
         primary: g,
         secondaries,
         warm,
@@ -408,10 +487,9 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             run: s.hw.runs.vacant_key(),
         },
     );
-    let run = start_inference(
-        s,
-        ctx,
-        spec,
+    // All captures are `Copy`, so the completion callback can be minted
+    // twice: once for the launch and once for the NVLink-less fallback.
+    let make_done = move || -> DoneFn<ServerState> {
         Box::new(move |s: &mut ServerState, ctx, res| {
             s.probe.emit(
                 res.finished,
@@ -425,8 +503,30 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
                 },
             );
             on_complete(s, ctx, g, inst_id, warm, arrival, res.finished);
-        }),
-    );
+        })
+    };
+    let run = match start_inference(s, ctx, spec, make_done()) {
+        Ok(run) => run,
+        Err(_) => {
+            // A stale plan can demand NVLink a freshly degraded topology
+            // no longer has. A failed launch touches no state, so fall
+            // back to a primary-only launch — always valid, the surplus
+            // partitions fold onto the primary's own PCIe lane.
+            let fallback = LaunchSpec {
+                rt,
+                plan,
+                primary: g,
+                secondaries: Vec::new(),
+                warm,
+                skip_exec: false,
+                bulk_migrate: false,
+                distributed: false,
+                exec_scale: s.slowdown,
+            };
+            start_inference(s, ctx, fallback, make_done())
+                .expect("primary-only launch cannot require NVLink")
+        }
+    };
     s.running[g] = Some(RunningReq {
         req: req_id,
         instance: inst_id,
@@ -557,6 +657,7 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             q.priority,
         );
     }
+    note_topology_change(s, ctx);
 }
 
 /// GPU `g` came back — empty: cold caches, fresh contexts.
@@ -565,7 +666,194 @@ fn gpu_recover(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         return; // Unknown or already up.
     }
     s.probe.emit(ctx.now(), ProbeEvent::GpuRecovered { gpu: g });
+    note_topology_change(s, ctx);
     try_dispatch(s, ctx, g);
+}
+
+/// A health transition happened (GPU up/down, link degrade/restore):
+/// arm a re-plan after the hysteresis window. Each transition bumps the
+/// epoch and only the timer matching the *latest* epoch fires, so a
+/// flapping link re-plans once after it settles rather than once per
+/// flap edge. No-op unless recovery is enabled.
+fn note_topology_change(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
+    if !s.cfg.recovery.enabled {
+        return;
+    }
+    s.topo_epoch += 1;
+    let epoch = s.topo_epoch;
+    ctx.schedule_in(
+        s.cfg.recovery.settle,
+        Box::new(move |s: &mut ServerState, ctx| {
+            if s.topo_epoch == epoch {
+                replan(s, ctx);
+            }
+        }),
+    );
+}
+
+/// Re-invokes the planner against the *current* (possibly degraded)
+/// topology and hot-swaps each kind's active plan:
+///
+/// * dead GPUs are excluded from parallel-transmission groups;
+/// * degraded host-path capacities stretch the load/DHA cost model, so
+///   the stall analysis re-balances Load vs DHA for the slower wires;
+/// * a fully healthy signature rolls every kind back to its original
+///   plan (the same `Arc` it booted with);
+/// * with `recovery.migrate`, already-resident instances whose new plan
+///   needs more GPU bytes are grown in place over the host link while
+///   they keep serving.
+fn replan(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
+    let now = ctx.now();
+    let n = s.gpu_up.len();
+    let gpu_up: Vec<bool> = (0..n).map(|g| s.gpu_up.is_up(g)).collect();
+    // A GPU's effective host bandwidth is capped by the slower of its
+    // switch uplink and its own PCIe lane.
+    let factors: Vec<f64> = (0..n)
+        .map(|g| {
+            let uplink = s.hw.map.switch_uplink[s.cfg.machine.switch_of(g)];
+            let pcie = s.hw.map.gpu_pcie[g];
+            s.link_health.factor(uplink).min(s.link_health.factor(pcie))
+        })
+        .collect();
+    let signature = (
+        gpu_up.clone(),
+        factors.iter().map(|f| f.to_bits()).collect::<Vec<u64>>(),
+    );
+    if s.plan_signature.as_ref() == Some(&signature) {
+        return; // The active plans already target this topology.
+    }
+    s.plan_signature = Some(signature);
+    let healthy = gpu_up.iter().all(|&u| u) && factors.iter().all(|&f| f == 1.0);
+    let degraded_links = (0..s.flows.net.link_count())
+        .filter(|&i| s.link_health.factor(LinkId(i)) < 1.0)
+        .count();
+    s.report.replans += 1;
+    s.probe.emit(
+        now,
+        ProbeEvent::ReplanTriggered {
+            epoch: s.topo_epoch,
+            up_gpus: s.gpu_up.up_count(),
+            degraded_links,
+        },
+    );
+    for k in 0..s.kinds.len() {
+        let new_plan: Arc<ExecutionPlan> = if healthy {
+            // Rollback: the recovered topology gets the boot-time plan
+            // back, byte-for-byte (same Arc, no regeneration drift).
+            s.kinds[k].plan.clone()
+        } else {
+            Arc::new(generate_degraded(
+                &s.kinds[k].profile,
+                &s.cfg.machine,
+                s.cfg.mode,
+                s.cfg.max_pt_gpus,
+                &gpu_up,
+                &factors,
+            ))
+        };
+        if *new_plan == *s.active_plans[k] {
+            continue; // Same plan content — nothing to swap or migrate.
+        }
+        let new_bytes = new_plan.resident_bytes(&s.kinds[k].rt.param_bytes_vec());
+        s.probe.emit(
+            now,
+            ProbeEvent::PlanSwapped {
+                kind: k,
+                slots: new_plan.gpu_slots(),
+                resident_bytes: new_bytes,
+            },
+        );
+        s.active_plans[k] = new_plan;
+        s.sizes[k] = new_bytes;
+        if s.cfg.recovery.migrate {
+            migrate_kind(s, ctx, k, new_bytes);
+        }
+    }
+}
+
+/// Live migration after a plan swap: adjust the footprint of every
+/// already-loaded instance of kind `k` to the new plan's resident bytes.
+/// Shrinks free GPU memory immediately (the old surplus layers are
+/// simply dropped); growth streams the delta from pinned host memory
+/// over the GPU's host path while the instance keeps serving. An idle
+/// instance whose growth cannot fit is deprovisioned instead (it cold
+/// starts under the new plan on next use); a busy one keeps its old
+/// footprint until it goes idle and is evicted naturally.
+fn migrate_kind(s: &mut ServerState, ctx: &mut Ctx<ServerState>, k: usize, new_bytes: u64) {
+    let now = ctx.now();
+    for i in 0..s.instances.len() {
+        if s.instances[i].kind != k {
+            continue;
+        }
+        let Some(g) = s.instances[i].gpu() else {
+            continue;
+        };
+        if !s.gpu_up.is_up(g) {
+            continue;
+        }
+        let old = s.inst_resident[i];
+        if new_bytes < old {
+            s.caches[g].used = s.caches[g].used.saturating_sub(old - new_bytes);
+            s.inst_resident[i] = new_bytes;
+            s.emit_cache(now, g);
+            continue;
+        }
+        if new_bytes == old {
+            continue;
+        }
+        let delta = new_bytes - old;
+        // Pin the instance so it cannot be chosen as its own eviction
+        // victim while making room for its growth.
+        s.instances[i].active += 1;
+        let room = {
+            let (caches, instances) = (&mut s.caches, &mut s.instances);
+            make_room_with(
+                &mut caches[g],
+                g,
+                instances,
+                &s.inst_resident,
+                delta,
+                s.cfg.eviction,
+                now.as_nanos(),
+            )
+        };
+        s.instances[i].active -= 1;
+        match room {
+            Some(victims) => {
+                s.report.evictions += victims.len() as u64;
+                s.caches[g].used += delta;
+                s.inst_resident[i] = new_bytes;
+                s.report.plan_migrations += 1;
+                s.probe.emit(
+                    now,
+                    ProbeEvent::PlanMigrationStarted {
+                        kind: k,
+                        gpu: g,
+                        bytes: delta,
+                    },
+                );
+                let path = s.hw.map.host_to_gpu(&s.cfg.machine, g);
+                start_flow(
+                    s,
+                    ctx,
+                    delta as f64,
+                    path,
+                    Box::new(move |s: &mut ServerState, ctx| {
+                        s.probe.emit(
+                            ctx.now(),
+                            ProbeEvent::PlanMigrationFinished { kind: k, gpu: g },
+                        );
+                    }),
+                );
+            }
+            None if s.instances[i].active == 0 => {
+                s.caches[g].used = s.caches[g].used.saturating_sub(old);
+                s.instances[i].residency = Residency::NotResident;
+            }
+            None => {}
+        }
+        s.emit_cache(now, g);
+    }
 }
 
 /// Applies host pinned-memory pressure: unpin instances (highest id
@@ -588,9 +876,7 @@ fn apply_mem_pressure(s: &mut ServerState, ctx: &mut Ctx<ServerState>, bytes: u6
         // replica cannot be trusted (DHA layers read host memory every
         // execution), so the instance is fully deprovisioned.
         if let Some(g) = s.instances[i].gpu() {
-            s.caches[g].used = s.caches[g]
-                .used
-                .saturating_sub(s.sizes[s.instances[i].kind]);
+            s.caches[g].used = s.caches[g].used.saturating_sub(s.inst_resident[i]);
             s.instances[i].residency = Residency::NotResident;
             s.emit_cache(now, g);
         }
@@ -645,6 +931,7 @@ fn apply_fault(s: &mut ServerState, ctx: &mut Ctx<ServerState>, kind: FaultKind)
                     },
                 );
                 set_link_capacity(s, ctx, l, cap);
+                note_topology_change(s, ctx);
             }
         }
         FaultKind::LinkRestore { link } => {
@@ -658,6 +945,7 @@ fn apply_fault(s: &mut ServerState, ctx: &mut Ctx<ServerState>, kind: FaultKind)
                     },
                 );
                 set_link_capacity(s, ctx, l, cap);
+                note_topology_change(s, ctx);
             }
         }
         FaultKind::HostMemPressure { bytes } => apply_mem_pressure(s, ctx, bytes),

@@ -18,7 +18,7 @@ proptest! {
         spec in arb_instances(),
         want in 1u64..400,
     ) {
-        let sizes = vec![50u64, 80, 120];
+        let sizes = [50u64, 80, 120];
         let mut instances: Vec<Instance> = spec
             .iter()
             .map(|&(kind, gpu, used, busy)| {
@@ -36,8 +36,9 @@ proptest! {
             .sum();
         let mut cache = GpuCache::new(600);
         cache.used = used.min(600);
+        let resident: Vec<u64> = instances.iter().map(|i| sizes[i.kind]).collect();
         let before = instances.clone();
-        match make_room(&mut cache, 0, &mut instances, &sizes, want) {
+        match make_room(&mut cache, 0, &mut instances, &resident, want) {
             Some(evicted) => {
                 prop_assert!(cache.free() >= want);
                 for &id in &evicted {

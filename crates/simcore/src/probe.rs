@@ -64,6 +64,12 @@ pub enum ShedCause {
     Priority,
     /// The request exhausted its retry budget after repeated failures.
     RetriesExhausted,
+    /// Admission control: the target GPU's bounded queue was full (or the
+    /// request's priority fell below the escalated admission floor).
+    QueueFull,
+    /// Admission control: the estimated queueing delay already exceeded
+    /// the SLO-based rejection threshold at arrival.
+    SloReject,
 }
 
 impl ShedCause {
@@ -75,6 +81,8 @@ impl ShedCause {
             ShedCause::NoCapacity => "no-capacity",
             ShedCause::Priority => "priority",
             ShedCause::RetriesExhausted => "retries-exhausted",
+            ShedCause::QueueFull => "queue-full",
+            ShedCause::SloReject => "slo-reject",
         }
     }
 }
@@ -291,6 +299,42 @@ pub enum ProbeEvent {
     HostMemAvailable {
         /// Bytes the store may pin.
         bytes: u64,
+    },
+    /// The recovery manager observed a settled topology change and is
+    /// replanning every deployed model against the degraded machine.
+    ReplanTriggered {
+        /// Monotonic topology epoch (increments per health transition).
+        epoch: u64,
+        /// GPUs currently up.
+        up_gpus: usize,
+        /// Host-side links currently running below healthy capacity.
+        degraded_links: usize,
+    },
+    /// A model kind's active plan was atomically replaced.
+    PlanSwapped {
+        /// Model kind index.
+        kind: usize,
+        /// Transmission slots of the new plan.
+        slots: usize,
+        /// Resident bytes of the new plan.
+        resident_bytes: u64,
+    },
+    /// Live plan migration: extra layer bytes the new plan keeps resident
+    /// started streaming to an already-loaded instance's GPU.
+    PlanMigrationStarted {
+        /// Model kind index.
+        kind: usize,
+        /// GPU holding the instances being migrated.
+        gpu: usize,
+        /// Bytes moving over the migration stream.
+        bytes: u64,
+    },
+    /// Live plan migration to `gpu` finished.
+    PlanMigrationFinished {
+        /// Model kind index.
+        kind: usize,
+        /// GPU whose resident instances now match the active plan.
+        gpu: usize,
     },
 }
 
@@ -563,6 +607,30 @@ fn jsonl_line(out: &mut String, e: &Event) {
         ProbeEvent::HostMemAvailable { bytes } => write!(
             out,
             r#"{{"at":{at},"ev":"host_mem_available","bytes":{bytes}}}"#
+        ),
+        ProbeEvent::ReplanTriggered {
+            epoch,
+            up_gpus,
+            degraded_links,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"replan_triggered","epoch":{epoch},"up_gpus":{up_gpus},"degraded_links":{degraded_links}}}"#
+        ),
+        ProbeEvent::PlanSwapped {
+            kind,
+            slots,
+            resident_bytes,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"plan_swapped","kind":{kind},"slots":{slots},"resident_bytes":{resident_bytes}}}"#
+        ),
+        ProbeEvent::PlanMigrationStarted { kind, gpu, bytes } => write!(
+            out,
+            r#"{{"at":{at},"ev":"plan_migration_started","kind":{kind},"gpu":{gpu},"bytes":{bytes}}}"#
+        ),
+        ProbeEvent::PlanMigrationFinished { kind, gpu } => write!(
+            out,
+            r#"{{"at":{at},"ev":"plan_migration_finished","kind":{kind},"gpu":{gpu}}}"#
         ),
     }
     .expect("writing to String cannot fail");
@@ -905,6 +973,39 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     bytes as f64 / (1u64 << 20) as f64
                 ));
             }
+            ProbeEvent::ReplanTriggered {
+                epoch,
+                up_gpus,
+                degraded_links,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"REPLAN","cat":"recovery","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"epoch":{epoch},"up_gpus":{up_gpus},"degraded_links":{degraded_links}}}}}"#
+                ));
+            }
+            ProbeEvent::PlanSwapped {
+                kind,
+                slots,
+                resident_bytes,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"plan swapped","cat":"recovery","ph":"i","s":"p","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"kind":{kind},"slots":{slots},"resident_mib":{:?}}}}}"#,
+                    resident_bytes as f64 / (1u64 << 20) as f64
+                ));
+            }
+            ProbeEvent::PlanMigrationStarted { kind, gpu, bytes } => {
+                let tid = TID_MIGRATE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} nvlink out"));
+                body.push(format!(
+                    r#"{{"name":"plan migration","cat":"recovery","ph":"b","id":{kind},"ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"kind":{kind},"gpu":{gpu},"mib":{:?}}}}}"#,
+                    bytes as f64 / (1u64 << 20) as f64
+                ));
+            }
+            ProbeEvent::PlanMigrationFinished { kind, gpu } => {
+                let tid = TID_MIGRATE_BASE + gpu as u64;
+                body.push(format!(
+                    r#"{{"name":"plan migration","cat":"recovery","ph":"e","id":{kind},"ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"kind":{kind},"gpu":{gpu}}}}}"#
+                ));
+            }
         }
     }
 
@@ -1162,6 +1263,81 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e["name"] == "shed" && e["args"]["cause"] == "no-capacity"));
+    }
+
+    #[test]
+    fn recovery_events_export_in_both_formats() {
+        let events = vec![
+            Event {
+                at: t(1),
+                what: ProbeEvent::ReplanTriggered {
+                    epoch: 3,
+                    up_gpus: 2,
+                    degraded_links: 1,
+                },
+            },
+            Event {
+                at: t(2),
+                what: ProbeEvent::PlanSwapped {
+                    kind: 0,
+                    slots: 1,
+                    resident_bytes: 1 << 20,
+                },
+            },
+            Event {
+                at: t(3),
+                what: ProbeEvent::PlanMigrationStarted {
+                    kind: 0,
+                    gpu: 1,
+                    bytes: 1 << 20,
+                },
+            },
+            Event {
+                at: t(4),
+                what: ProbeEvent::PlanMigrationFinished { kind: 0, gpu: 1 },
+            },
+            Event {
+                at: t(5),
+                what: ProbeEvent::RequestShed {
+                    req: 8,
+                    instance: 0,
+                    cause: ShedCause::QueueFull,
+                },
+            },
+            Event {
+                at: t(6),
+                what: ProbeEvent::RequestShed {
+                    req: 9,
+                    instance: 0,
+                    cause: ShedCause::SloReject,
+                },
+            },
+        ];
+        let out = to_jsonl(&events);
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+            assert!(v["ev"].as_str().is_some());
+        }
+        assert!(out.contains(r#""ev":"replan_triggered","epoch":3"#));
+        assert!(out.contains(r#""ev":"plan_swapped","kind":0,"slots":1"#));
+        assert!(out.contains(r#""ev":"plan_migration_started""#));
+        assert!(out.contains(r#""ev":"plan_migration_finished""#));
+        assert!(out.contains(r#""cause":"queue-full""#));
+        assert!(out.contains(r#""cause":"slo-reject""#));
+        let doc = to_perfetto(&events, &PerfettoOptions::default());
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("document parses");
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert!(evs.iter().any(|e| e["name"] == "REPLAN"));
+        assert!(evs.iter().any(|e| e["name"] == "plan swapped"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "plan migration" && e["ph"] == "b"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "plan migration" && e["ph"] == "e"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "shed" && e["args"]["cause"] == "slo-reject"));
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! Chaos soak: a long randomized fault schedule (crashes, flaps,
+//! slowdowns, memory pressure) at a fixed seed. Invariants: no request
+//! is ever silently lost (completed + shed always accounts for every
+//! arrival, and every shed is visible in the probe stream), and the
+//! whole run replays byte-identically — with and without recovery.
+
+use dnn_models::zoo::{build, ModelId};
+use exec_planner::generate::PlanMode;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::{poisson, run_server_faulted, DeployedModel, ServerConfig, ServingReport};
+use simcore::fault::FaultSpec;
+use simcore::probe::{to_jsonl, Event, Probe, ProbeEvent};
+use simcore::time::SimTime;
+
+const REQUESTS: usize = 2_000;
+
+/// Two independently crashing GPUs, a flapping PCIe link, a compute
+/// slowdown window and a host-memory squeeze, all overlapping.
+const CHAOS: &str = "gpu-crash:gpu=1,mtbf=2s,mttr=400ms; \
+                     gpu-crash:gpu=3,mtbf=3s,mttr=600ms; \
+                     link-flap:pcie=0,up=700ms,down=150ms,factor=0.2; \
+                     slowdown@3s:factor=2; slowdown-end@6s; \
+                     mem-pressure@8s:bytes=235g; mem-release@10s";
+
+fn soak(recovery: bool) -> (ServingReport, Vec<Event>) {
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PtDha;
+    let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+    cfg.recovery.enabled = recovery;
+    cfg.admission.queue_cap = Some(64);
+    let kinds = vec![DeployedModel::prepare(
+        &build(ModelId::BertBase),
+        &machine,
+        mode,
+        cfg.max_pt_gpus,
+    )];
+    let instance_kinds = vec![0usize; 80];
+    let trace = poisson::generate(120.0, 80, REQUESTS, SimTime::ZERO, 0xC4A05);
+    let faults = FaultSpec::parse(CHAOS, 0xC4A05).expect("valid chaos spec");
+    let (probe, log) = Probe::logging();
+    let report = run_server_faulted(
+        cfg,
+        kinds,
+        &instance_kinds,
+        trace,
+        SimTime::ZERO,
+        probe,
+        &faults,
+    );
+    let events = log.borrow().events.clone();
+    (report, events)
+}
+
+fn assert_nothing_silently_lost(report: &ServingReport, events: &[Event]) {
+    assert_eq!(
+        report.completed + report.shed,
+        REQUESTS as u64,
+        "requests vanished: {} completed + {} shed != {REQUESTS}",
+        report.completed,
+        report.shed
+    );
+    let shed_events = events
+        .iter()
+        .filter(|e| matches!(e.what, ProbeEvent::RequestShed { .. }))
+        .count() as u64;
+    assert_eq!(
+        shed_events, report.shed,
+        "every shed must be visible in the probe stream"
+    );
+    let completions = events
+        .iter()
+        .filter(|e| matches!(e.what, ProbeEvent::RequestCompleted { .. }))
+        .count() as u64;
+    assert_eq!(completions, report.completed);
+    assert!(
+        report.gpu_failures > 0,
+        "chaos schedule never crashed a GPU"
+    );
+}
+
+#[test]
+fn chaos_soak_loses_nothing_and_replays_identically() {
+    let (report, events) = soak(false);
+    assert_nothing_silently_lost(&report, &events);
+    let (report2, events2) = soak(false);
+    assert_eq!(
+        to_jsonl(&events),
+        to_jsonl(&events2),
+        "chaos soak must replay byte-identically"
+    );
+    assert_eq!(report.completed, report2.completed);
+}
+
+#[test]
+fn chaos_soak_with_recovery_loses_nothing_and_replays_identically() {
+    let (report, events) = soak(true);
+    assert_nothing_silently_lost(&report, &events);
+    assert!(report.replans > 0, "chaos never triggered a re-plan");
+    let (_, events2) = soak(true);
+    assert_eq!(to_jsonl(&events), to_jsonl(&events2));
+}

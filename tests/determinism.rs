@@ -142,6 +142,38 @@ mod faulted {
     }
 
     #[test]
+    fn recovery_enabled_healthy_run_is_byte_identical_to_the_baseline() {
+        // The recovery manager only acts on health transitions; merely
+        // enabling it must not perturb a fault-free schedule by a byte.
+        let machine = p3_8xlarge();
+        let mode = PlanMode::PtDha;
+        let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+        cfg.recovery.enabled = true;
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::BertBase),
+            &machine,
+            mode,
+            cfg.max_pt_gpus,
+        )];
+        let instance_kinds = vec![0usize; 40];
+        let trace = poisson::generate(150.0, 40, 500, SimTime::ZERO, 7);
+        let (probe, log) = Probe::logging();
+        run_server_faulted(
+            cfg,
+            kinds,
+            &instance_kinds,
+            trace,
+            SimTime::ZERO,
+            probe,
+            &FaultSpec::none(),
+        );
+        let events = log.borrow().events.clone();
+        let with_recovery = to_jsonl(&events);
+
+        assert_eq!(with_recovery, jsonl_run(&FaultSpec::none()));
+    }
+
+    #[test]
     fn fault_schedules_are_seed_sensitive() {
         let spec = "link-flap:pcie=1,up=500ms,down=100ms,factor=0.25";
         let a = FaultSpec::parse(spec, 7).unwrap();
