@@ -1,0 +1,52 @@
+//! Performance-trajectory harness: measures raw discrete-event engine
+//! throughput (executed events per wall-clock second) on a fixed
+//! fig15-style serving workload and writes `BENCH_simcore_events.json`
+//! at the repo root.
+//!
+//! The workload is pinned — 3 minutes of MAF-like arrivals at 150 rps
+//! over 300 mixed BERT/RoBERTa/GPT-2 instances under PT+DHA, seed and
+//! all — so the JSON is comparable commit-to-commit: `sim_events` must
+//! stay bit-identical (the simulation is deterministic) while
+//! `events_per_sec` tracks engine speed. Run it on a quiet machine:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perf
+//! ```
+
+use std::time::Instant;
+
+use deepplan::PlanMode;
+use simcore::time::SimDur;
+
+use bench::experiments::fig15;
+use bench::experiments::serving::run_mix;
+
+const HORIZON_SECS: u64 = 180;
+const RATE: f64 = 150.0;
+const INSTANCES: usize = 300;
+
+fn main() {
+    let horizon = SimDur::from_secs(HORIZON_SECS);
+    let (kinds, instance_kinds) = fig15::mix(INSTANCES);
+    let trace = fig15::trace(INSTANCES, horizon, RATE);
+    let wall = Instant::now();
+    let report = run_mix(PlanMode::PtDha, &kinds, instance_kinds, trace);
+    let wall_secs = wall.elapsed().as_secs_f64();
+    let events_per_sec = report.sim_events as f64 / wall_secs.max(1e-9);
+    let sim_wall_ratio = HORIZON_SECS as f64 / wall_secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"workload\": \"fig15-maf {RATE} rps x {HORIZON_SECS} s, {INSTANCES} instances, pt+dha\",\n  \
+           \"sim_events\": {},\n  \
+           \"wall_secs\": {wall_secs:.3},\n  \
+           \"events_per_sec\": {events_per_sec:.0},\n  \
+           \"sim_secs\": {HORIZON_SECS},\n  \
+           \"sim_wall_ratio\": {sim_wall_ratio:.1},\n  \
+           \"completed\": {}\n}}\n",
+        report.sim_events, report.completed
+    );
+    println!("{json}");
+    if let Err(e) = std::fs::write("BENCH_simcore_events.json", &json) {
+        eprintln!("error: writing BENCH_simcore_events.json: {e}");
+        std::process::exit(1);
+    }
+}

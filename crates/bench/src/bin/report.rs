@@ -12,52 +12,68 @@ use std::fs;
 use std::path::Path;
 
 use bench::experiments::{
-    ablations, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16, overload,
-    recovery, table1, table3, table4, table5,
+    ablations, detection, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14, fig15, fig16,
+    overload, recovery, table1, table3, table4, table5,
 };
 use bench::Table;
 
-fn emit(name: &str, table: Table) {
-    println!("{table}");
-    let dir = Path::new("results");
-    if fs::create_dir_all(dir).is_ok() {
-        let path = dir.join(format!("{name}.json"));
-        if let Err(e) = fs::write(&path, table.to_json()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
-        }
+/// A table whose JSON artifact could not be written. The table itself
+/// already went to stdout; the missing artifact is still a hard error
+/// so CI never mistakes a partial `results/` directory for a full run.
+struct EmitError {
+    path: String,
+    source: std::io::Error,
+}
+
+impl std::fmt::Display for EmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "could not write {}: {}", self.path, self.source)
     }
 }
 
-fn run_one(name: &str) -> bool {
+fn emit(name: &str, table: Table) -> Result<(), EmitError> {
+    println!("{table}");
+    let dir = Path::new("results");
+    let path = dir.join(format!("{name}.json"));
+    fs::create_dir_all(dir)
+        .and_then(|()| fs::write(&path, table.to_json()))
+        .map_err(|source| EmitError {
+            path: path.display().to_string(),
+            source,
+        })
+}
+
+fn run_one(name: &str) -> Result<bool, EmitError> {
     match name {
-        "fig2" | "fig02" => emit("fig02_stall", fig02::run()),
-        "fig5" | "fig05" => emit("fig05_layers", fig05::run()),
-        "table1" => emit("table1_pcie", table1::run()),
+        "fig2" | "fig02" => emit("fig02_stall", fig02::run())?,
+        "fig5" | "fig05" => emit("fig05_layers", fig05::run())?,
+        "table1" => emit("table1_pcie", table1::run())?,
         "fig6" | "fig06" => {
-            emit("fig06_transmission", fig06::run());
-            emit("table2_bandwidth", fig06::run_table2());
+            emit("fig06_transmission", fig06::run())?;
+            emit("table2_bandwidth", fig06::run_table2())?;
         }
-        "table2" => emit("table2_bandwidth", fig06::run_table2()),
-        "fig11" => emit("fig11_speedup", fig11::run()),
-        "table3" => emit("table3_plans", table3::run()),
-        "table4" => emit("table4_interference", table4::run()),
-        "fig12" => emit("fig12_batching", fig12::run()),
-        "table5" => emit("table5_profiling", table5::run()),
-        "fig13" => emit("fig13_serving_bertbase", fig13::run()),
-        "fig14" => emit("fig14_serving_large", fig14::run()),
-        "fig15" => emit("fig15_maf_trace", fig15::run()),
-        "fig16" => emit("fig16_pcie4", fig16::run()),
-        "faults" => emit("faults_matrix", faults::run()),
-        "recovery" => emit("recovery_ablation", recovery::run()),
-        "overload" => emit("overload_control", overload::run()),
+        "table2" => emit("table2_bandwidth", fig06::run_table2())?,
+        "fig11" => emit("fig11_speedup", fig11::run())?,
+        "table3" => emit("table3_plans", table3::run())?,
+        "table4" => emit("table4_interference", table4::run())?,
+        "fig12" => emit("fig12_batching", fig12::run())?,
+        "table5" => emit("table5_profiling", table5::run())?,
+        "fig13" => emit("fig13_serving_bertbase", fig13::run())?,
+        "fig14" => emit("fig14_serving_large", fig14::run())?,
+        "fig15" => emit("fig15_maf_trace", fig15::run())?,
+        "fig16" => emit("fig16_pcie4", fig16::run())?,
+        "faults" => emit("faults_matrix", faults::run())?,
+        "recovery" => emit("recovery_ablation", recovery::run())?,
+        "detection" => emit("detection_ablation", detection::run())?,
+        "overload" => emit("overload_control", overload::run())?,
         "ablations" => {
             for (i, t) in ablations::run_all().into_iter().enumerate() {
-                emit(&format!("ablation_{i}"), t);
+                emit(&format!("ablation_{i}"), t)?;
             }
         }
-        _ => return false,
+        _ => return Ok(false),
     }
-    true
+    Ok(true)
 }
 
 const QUICK: &[&str] = &[
@@ -90,6 +106,7 @@ const ALL: &[&str] = &[
     "fig16",
     "faults",
     "recovery",
+    "detection",
     "overload",
     "ablations",
 ];
@@ -104,9 +121,16 @@ fn main() {
         args.iter().map(|s| s.as_str()).collect()
     };
     for name in names {
-        if !run_one(name) {
-            eprintln!("unknown experiment '{name}'; known: {ALL:?} plus 'all'/'quick'");
-            std::process::exit(2);
+        match run_one(name) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!("unknown experiment '{name}'; known: {ALL:?} plus 'all'/'quick'");
+                std::process::exit(2);
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
         }
     }
 }

@@ -85,6 +85,8 @@ pub fn pt_partner_choice() -> Table {
             bulk_migrate: false,
             distributed: false,
             exec_scale: 1.0,
+            verify_loads: false,
+            hedge: None,
         };
         let (res, _) = {
             let (mut r, net) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
@@ -118,6 +120,8 @@ pub fn partition_count() -> Table {
             bulk_migrate: false,
             distributed: false,
             exec_scale: 1.0,
+            verify_loads: false,
+            hedge: None,
         };
         let (results, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
         t.push(vec![
@@ -174,6 +178,8 @@ pub fn distributed_execution() -> Table {
             bulk_migrate: false,
             distributed,
             exec_scale: 1.0,
+            verify_loads: false,
+            hedge: None,
         };
         let (cold, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(false))]);
         let (warm, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true))]);

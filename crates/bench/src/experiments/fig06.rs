@@ -69,6 +69,8 @@ pub fn measure(id: deepplan::ModelId, cfg_idx: usize) -> (f64, f64) {
         bulk_migrate: cfg.bulk,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (results, _) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     let secs = results[0].latency().as_secs_f64();

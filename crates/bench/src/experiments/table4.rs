@@ -32,6 +32,8 @@ pub fn measure(id: deepplan::ModelId) -> (f64, f64, f64) {
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (results, _) = run_at(
         machine,

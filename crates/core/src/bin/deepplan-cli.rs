@@ -8,7 +8,8 @@
 //! deepplan-cli simulate bert-base [--mode pt+dha] [--batch N]
 //! deepplan-cli serve bert-base [--mode pt+dha] [--concurrency N] [--requests N]
 //!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
-//!     [--faults SPEC] [--deadline-ms N] [--recovery] [--queue-cap N]
+//!     [--faults SPEC] [--deadline-ms N] [--recovery] [--detection]
+//!     [--queue-cap N]
 //! ```
 //!
 //! `--faults` takes the fault DSL (see `simcore::fault::FaultSpec::parse`),
@@ -19,6 +20,14 @@
 //! transition re-plans against the degraded topology, hot-swaps the
 //! serving plan, and rolls back when capacity returns. `--queue-cap`
 //! bounds each GPU's admission queue (overload backpressure).
+//!
+//! `--detection` arms the gray-failure detector: per-link / per-GPU
+//! statistical baselines over observable load and execution timings,
+//! quarantine → probation → reinstate via canary transfers, hedged
+//! duplicate weight transfers, and checksum-verify-with-refetch. Pair
+//! it with `--recovery` and a *silent* fault spec (e.g.
+//! `--faults 'silent-link-slow@2s:pcie=0,factor=0.4'`) to watch the
+//! server re-plan around a fault no health oracle ever announced.
 
 use deepplan::excerpt::{excerpt, format_excerpt};
 use deepplan::{DeepPlan, ModelId, PlanMode};
@@ -48,6 +57,7 @@ struct Args {
     faults: Option<String>,
     deadline_ms: Option<u64>,
     recovery: bool,
+    detection: bool,
     queue_cap: Option<usize>,
 }
 
@@ -57,7 +67,7 @@ fn usage() -> ! {
          [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
          [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
          [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
-         [--faults SPEC] [--deadline-ms N] [--recovery] [--queue-cap N]"
+         [--faults SPEC] [--deadline-ms N] [--recovery] [--detection] [--queue-cap N]"
     );
     std::process::exit(2)
 }
@@ -98,6 +108,7 @@ fn parse() -> Args {
         faults: None,
         deadline_ms: None,
         recovery: false,
+        detection: false,
         queue_cap: None,
     };
     let mut it = argv.iter().skip(1).peekable();
@@ -177,6 +188,7 @@ fn parse() -> Args {
                 )
             }
             "--recovery" => args.recovery = true,
+            "--detection" => args.detection = true,
             "--queue-cap" => {
                 args.queue_cap = Some(
                     it.next()
@@ -298,6 +310,7 @@ fn main() {
                 cfg.faults.deadline = Some(SimDur::from_millis(ms));
             }
             cfg.recovery.enabled = args.recovery;
+            cfg.detection.enabled = args.detection;
             cfg.admission.queue_cap = args.queue_cap;
             let faults = match &args.faults {
                 Some(spec) => FaultSpec::parse(spec, args.seed).unwrap_or_else(|e| {
@@ -358,6 +371,17 @@ fn main() {
                     report.replans, report.plan_migrations
                 );
             }
+            if args.detection {
+                println!(
+                    "  detection: {} quarantine(s), {} reinstate(s), {} canar(ies), \
+                     {} hedged transfer(s), {} checksum refetch(es)",
+                    report.quarantines,
+                    report.reinstates,
+                    report.canaries,
+                    report.hedged_transfers,
+                    report.checksum_refetches
+                );
+            }
             if let Some(log) = log {
                 let events = &log.borrow().events;
                 if let Some(path) = &args.events_out {
@@ -368,7 +392,13 @@ fn main() {
                     println!("  wrote {} event(s) to {path}", events.len());
                 }
                 if let Some(path) = &args.trace_out {
-                    let (_, map) = NetMap::build(&machine).expect("valid machine topology");
+                    let map = match NetMap::build(&machine) {
+                        Ok((_, map)) => map,
+                        Err(e) => {
+                            eprintln!("error: invalid machine topology: {e}");
+                            std::process::exit(1)
+                        }
+                    };
                     let opts = PerfettoOptions {
                         link_names: map.link_names(),
                     };

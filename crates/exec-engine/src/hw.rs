@@ -3,6 +3,7 @@
 use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use simcore::driver::{FlowDriver, HasFlowDriver};
+use simcore::flow::LinkId;
 use simcore::probe::Probe;
 use simcore::slab::Slab;
 
@@ -39,6 +40,15 @@ pub struct HwState<S: HasHw> {
     /// stalls). Disabled (free) by default; hosts install a recording
     /// probe to capture engine activity.
     pub probe: Probe,
+    /// Weight blocks re-fetched after a checksum mismatch (only grows
+    /// when a run launches with `verify_loads` and a corrupt-transfer
+    /// fault fires on its path).
+    pub refetches: u64,
+    /// In-flight host-path flows per link that *this host issued*
+    /// (weight loads, DHA reads, canaries). Pure bookkeeping: the
+    /// performance model reads it to set contention-aware expectations
+    /// for failure detection; it never affects timing.
+    pub host_flows: Vec<u32>,
     next_gen: u64,
 }
 
@@ -51,6 +61,7 @@ impl<S: HasHw> HwState<S> {
     /// Panics if the machine fails topology validation (presets never do).
     pub fn new(machine: Machine) -> (Self, FlowDriver<S>) {
         let (net, map) = NetMap::build(&machine).expect("valid machine topology");
+        let links = net.link_count();
         (
             HwState {
                 machine,
@@ -58,10 +69,34 @@ impl<S: HasHw> HwState<S> {
                 runs: Slab::new(),
                 trace: None,
                 probe: Probe::disabled(),
+                refetches: 0,
+                host_flows: vec![0; links],
                 next_gen: 0,
             },
             FlowDriver::with_net(net),
         )
+    }
+
+    /// Registers a host flow on `path`; returns its share count (the
+    /// maximum concurrent host flows across its links, itself included).
+    pub fn host_flow_started(&mut self, path: &[LinkId]) -> u32 {
+        let mut max = 1;
+        for l in path {
+            if let Some(c) = self.host_flows.get_mut(l.0) {
+                *c += 1;
+                max = max.max(*c);
+            }
+        }
+        max
+    }
+
+    /// Unregisters a host flow from `path`.
+    pub fn host_flow_finished(&mut self, path: &[LinkId]) {
+        for l in path {
+            if let Some(c) = self.host_flows.get_mut(l.0) {
+                *c = c.saturating_sub(1);
+            }
+        }
     }
 
     /// Allocates a fresh run generation.

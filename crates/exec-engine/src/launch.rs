@@ -17,13 +17,13 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use exec_planner::plan::{ExecutionPlan, LayerExec};
-use simcore::driver::start_flow;
+use simcore::driver::{start_flow, start_flow_hedged};
 use simcore::probe::{ProbeEvent, StallCause};
 use simcore::sim::Ctx;
 use simcore::time::{SimDur, SimTime};
 
 use crate::hw::{HasHw, RunRef};
-use crate::result::InferenceResult;
+use crate::result::{InferenceResult, SlotLoadObs};
 use crate::runtime::ModelRuntime;
 use crate::trace::TraceKind;
 
@@ -89,6 +89,28 @@ pub struct LaunchSpec {
     /// durations are passed through untouched, not re-derived through
     /// float math.
     pub exec_scale: f64,
+    /// Verify each arriving weight block and re-fetch it on a checksum
+    /// mismatch. When off, a corrupt transfer delivers silently (ground
+    /// truth is visible only through the injection marker events).
+    pub verify_loads: bool,
+    /// Hedging policy for this run's host→GPU weight blocks: when a
+    /// block overruns its expected wire time, race a duplicate transfer
+    /// and take whichever finishes first. `None` (the default) is the
+    /// exact unhedged path.
+    pub hedge: Option<HedgeSpec>,
+}
+
+/// Hedged-transfer policy for a run's weight loads (set by a serving
+/// host when a failure detector suspects a link on the run's path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeSpec {
+    /// Believed healthy transfer rate over the run's host path (B/s);
+    /// the hedge timeout for a block is derived from it.
+    pub rate_bps: f64,
+    /// Multiple of the expected wire time to wait before hedging.
+    pub factor: f64,
+    /// Minimum hedge timeout (keeps tiny blocks from hedging on noise).
+    pub floor: SimDur,
 }
 
 /// Scales a duration by `k`, preserving `k == 1.0` as the exact
@@ -139,6 +161,8 @@ pub struct RunState<S> {
     mig_queue: Vec<VecDeque<usize>>,
     mig_busy: Vec<bool>,
     slot_loaded: Vec<usize>,
+    /// Per-slot accumulated load bytes and wire time (detector signal).
+    slot_obs: Vec<(f64, SimDur)>,
     /// Warm fast path: merged `(compute, dha_wire_bytes)` steps. Runs of
     /// consecutive in-memory layers collapse into one timer event, which
     /// makes million-request serving traces cheap to simulate without
@@ -291,6 +315,7 @@ pub fn start_inference<S: HasHw>(
         mig_queue: vec![VecDeque::new(); slots.saturating_sub(1)],
         mig_busy: vec![false; slots.saturating_sub(1)],
         slot_loaded: vec![0; slots],
+        slot_obs: vec![(0.0, SimDur::ZERO); slots],
         warm_steps,
         use_warm_fast,
         owner,
@@ -359,52 +384,122 @@ fn load_next<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef, slot: usize, 
     ctx.schedule_in(
         overhead,
         Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
-            if state.hw().run_mut(r).is_none() {
-                return;
-            }
-            let now = ctx.now();
-            let path = {
-                let hw = state.hw();
-                for &layer in &block {
-                    hw.emit(now, r.slot, TraceKind::LoadStart { layer, gpu, slot });
-                    hw.probe.emit(
-                        now,
-                        ProbeEvent::LoadStarted {
-                            run: r.slot,
-                            layer,
-                            gpu,
-                            slot,
-                        },
-                    );
-                }
-                hw.map.host_to_gpu(&hw.machine, gpu)
-            };
-            start_flow(
-                state,
-                ctx,
-                bytes,
-                path,
-                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
-                    let now = ctx.now();
-                    for &layer in &block {
-                        let hw = state.hw();
-                        hw.emit(now, r.slot, TraceKind::LoadEnd { layer, gpu, slot });
-                        hw.probe.emit(
-                            now,
-                            ProbeEvent::LoadFinished {
-                                run: r.slot,
-                                layer,
-                                gpu,
-                                slot,
-                            },
-                        );
-                        on_load_done(state, ctx, r, slot, layer);
-                    }
-                    load_next(state, ctx, r, slot, next_pos);
-                }),
-            );
+            issue_block(state, ctx, r, slot, block, bytes, gpu, next_pos, true);
         }),
     );
+}
+
+/// Starts (or restarts, after a checksum mismatch) one weight block's
+/// host→GPU flow. `announce` is false on a re-fetch so load start/end
+/// trace events are not duplicated.
+#[allow(clippy::too_many_arguments)]
+fn issue_block<S: HasHw>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    r: RunRef,
+    slot: usize,
+    block: Vec<usize>,
+    bytes: f64,
+    gpu: usize,
+    next_pos: usize,
+    announce: bool,
+) {
+    if state.hw().run_mut(r).is_none() {
+        return;
+    }
+    let now = ctx.now();
+    let (path, verify, hedge) = {
+        let hw = state.hw();
+        if announce {
+            for &layer in &block {
+                hw.emit(now, r.slot, TraceKind::LoadStart { layer, gpu, slot });
+                hw.probe.emit(
+                    now,
+                    ProbeEvent::LoadStarted {
+                        run: r.slot,
+                        layer,
+                        gpu,
+                        slot,
+                    },
+                );
+            }
+        }
+        let path = hw.map.host_to_gpu(&hw.machine, gpu);
+        let run = hw.run_mut(r).expect("checked live");
+        (path, run.spec.verify_loads, run.spec.hedge)
+    };
+    // A corrupt-transfer arm on the path poisons this block. The arm is
+    // consumed either way; whether anyone *notices* depends on
+    // `verify_loads`.
+    let corrupt = state.flow_driver().take_corrupt(&path);
+    let n_shared = state.hw().host_flow_started(&path);
+    // The observation records *expected work* (bytes weighted by the
+    // concurrent host flows sharing the path), so that span ÷
+    // (obs_bytes / believed_rate) stays near 1.0 under contention and
+    // only a genuinely degraded link pushes it up.
+    let eff_bytes = bytes * f64::from(n_shared);
+    let obs_path = path.clone();
+    let started = now;
+    let done: simcore::sim::EventFn<S> = Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+        let now = ctx.now();
+        state.hw().host_flow_finished(&obs_path);
+        let Some(run) = state.hw().run_mut(r) else {
+            return;
+        };
+        run.slot_obs[slot].0 += eff_bytes;
+        run.slot_obs[slot].1 += now.since(started);
+        if corrupt && verify {
+            // Checksum mismatch: discard the block and fetch it again.
+            let hw = state.hw();
+            hw.refetches += 1;
+            hw.probe.emit(
+                now,
+                ProbeEvent::ChecksumMismatch {
+                    run: r.slot,
+                    layer: block[0],
+                    gpu,
+                    slot,
+                },
+            );
+            hw.probe.emit(
+                now,
+                ProbeEvent::LoadRefetched {
+                    run: r.slot,
+                    layer: block[0],
+                    gpu,
+                    slot,
+                },
+            );
+            issue_block(state, ctx, r, slot, block, bytes, gpu, next_pos, false);
+            return;
+        }
+        for &layer in &block {
+            let hw = state.hw();
+            hw.emit(now, r.slot, TraceKind::LoadEnd { layer, gpu, slot });
+            hw.probe.emit(
+                now,
+                ProbeEvent::LoadFinished {
+                    run: r.slot,
+                    layer,
+                    gpu,
+                    slot,
+                },
+            );
+            on_load_done(state, ctx, r, slot, layer);
+        }
+        load_next(state, ctx, r, slot, next_pos);
+    });
+    match hedge {
+        Some(h) if bytes > 0.0 => {
+            // Timeout scales with the concurrent host flows at issue so
+            // healthy contention does not trip the watchdog.
+            let timeout = SimDur::from_secs_f64(eff_bytes / h.rate_bps * h.factor).max(h.floor);
+            start_flow_hedged(state, ctx, bytes, path, timeout, done);
+        }
+        _ => {
+            start_flow(state, ctx, bytes, path, done);
+        }
+    }
 }
 
 /// A layer finished its host→GPU copy.
@@ -838,7 +933,7 @@ fn exec_start_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
 /// GPU.
 fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
     let now = ctx.now();
-    let (compute, dha_wire, gpu, layer_idx) = {
+    let (compute, dha_wire, gpu, layer_idx, hedge) = {
         let Some(run) = state.hw().run_mut(r) else {
             return;
         };
@@ -862,6 +957,7 @@ fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
             wire,
             run.current_gpu,
             i,
+            run.spec.hedge,
         )
     };
     let hw = state.hw();
@@ -891,13 +987,27 @@ fn exec_run_layer<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
             let hw = state.hw();
             hw.map.host_to_gpu(&hw.machine, gpu)
         };
-        start_flow(
-            state,
-            ctx,
-            dha_wire,
-            path,
-            Box::new(move |state: &mut S, ctx: &mut Ctx<S>| exec_part_done(state, ctx, r)),
-        );
+        let n_shared = state.hw().host_flow_started(&path);
+        let obs_path = path.clone();
+        let done = Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            state.hw().host_flow_finished(&obs_path);
+            exec_part_done(state, ctx, r)
+        });
+        match hedge {
+            Some(h) => {
+                // DHA reads are weight transfers too: a stuck or
+                // silently slow read stalls the exec stream exactly like
+                // a stuck load, so it gets the same watchdog. The
+                // timeout scales with the host flows sharing the path at
+                // issue so healthy contention does not trip it.
+                let expected = dha_wire * f64::from(n_shared) / h.rate_bps;
+                let timeout = SimDur::from_secs_f64(expected * h.factor).max(h.floor);
+                start_flow_hedged(state, ctx, dha_wire, path, timeout, done);
+            }
+            None => {
+                start_flow(state, ctx, dha_wire, path, done);
+            }
+        }
     }
 }
 
@@ -959,12 +1069,24 @@ fn complete<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: RunRef) {
             exec_busy_ns: run.exec_busy.as_nanos(),
         },
     );
+    let slot_loads: Vec<SlotLoadObs> = run
+        .slot_obs
+        .iter()
+        .enumerate()
+        .filter(|(_, &(bytes, _))| bytes > 0.0)
+        .map(|(slot, &(bytes, span))| SlotLoadObs {
+            gpu: slot_gpu(&run.spec, slot).0,
+            bytes,
+            span,
+        })
+        .collect();
     let result = InferenceResult {
         started: run.started,
         finished: now,
         stall: run.stall,
         exec_busy: run.exec_busy,
         resident_bytes,
+        slot_loads,
     };
     if let Some(cb) = run.on_done {
         cb(state, ctx, result);

@@ -3,8 +3,28 @@
 use serde::{Deserialize, Serialize};
 use simcore::time::{SimDur, SimTime};
 
-/// Outcome of one inference (or transfer-only) run.
+/// Aggregate host→GPU load activity of one transmission slot — the
+/// externally observable signal a failure detector gets for free: how
+/// many weight bytes crossed GPU `gpu`'s host path and how long the
+/// slot's load stream was busy transferring them. Comparing `span`
+/// against `bytes / believed_rate` is how gray link slowdowns are
+/// inferred without any health oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlotLoadObs {
+    /// GPU the slot loaded into.
+    pub gpu: usize,
+    /// Model-expected transfer work: raw weight bytes (including any
+    /// re-fetches) weighted by the concurrent host flows sharing the
+    /// path at issue time, so `bytes / believed_rate` is already the
+    /// contention-aware expected wire time.
+    pub bytes: f64,
+    /// Summed wire time of the slot's load flows (launch overheads
+    /// excluded).
+    pub span: SimDur,
+}
+
+/// Outcome of one inference (or transfer-only) run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceResult {
     /// Launch instant.
     pub started: SimTime,
@@ -16,6 +36,9 @@ pub struct InferenceResult {
     pub exec_busy: SimDur,
     /// Bytes resident in the primary GPU's memory afterwards.
     pub resident_bytes: u64,
+    /// Per-slot load observations (empty for warm runs — nothing was
+    /// loaded). Bookkeeping only; populating it never changes timing.
+    pub slot_loads: Vec<SlotLoadObs>,
 }
 
 impl InferenceResult {
@@ -46,6 +69,7 @@ mod tests {
             stall: SimDur::from_nanos(4_000),
             exec_busy: SimDur::from_nanos(6_000),
             resident_bytes: 42,
+            slot_loads: Vec::new(),
         };
         assert_eq!(r.latency(), SimDur::from_nanos(10_000));
         assert!((r.stall_fraction() - 0.4).abs() < 1e-9);
@@ -59,6 +83,7 @@ mod tests {
             stall: SimDur::ZERO,
             exec_busy: SimDur::ZERO,
             resident_bytes: 0,
+            slot_loads: Vec::new(),
         };
         assert_eq!(r.stall_fraction(), 0.0);
     }

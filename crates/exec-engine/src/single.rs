@@ -99,6 +99,8 @@ pub fn run_cold(
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     run_at(machine, vec![(SimTime::ZERO, spec)]).0.remove(0)
 }
@@ -120,6 +122,8 @@ pub fn run_warm(
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     run_at(machine, vec![(SimTime::ZERO, spec)]).0.remove(0)
 }
@@ -155,7 +159,7 @@ pub fn run_traced(
     sim.run_until_idle();
     let mut world = sim.into_state();
     let trace = world.hw.take_trace().expect("tracing was enabled");
-    (world.results[0].expect("run completed"), trace)
+    (world.results.remove(0).expect("run completed"), trace)
 }
 
 /// Transfers a model without executing (Figure 6): returns the result and
@@ -177,6 +181,8 @@ pub fn run_transfer_only(
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (mut results, net) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     (results.remove(0), net)
@@ -329,6 +335,8 @@ mod tests {
             bulk_migrate: false,
             distributed: false,
             exec_scale: 1.0,
+            verify_loads: false,
+            hedge: None,
         };
         let (alone, _) = run_at(p3_8xlarge(), vec![(SimTime::ZERO, spec(0))]);
         let (same_switch, _) = run_at(

@@ -104,6 +104,8 @@ fn warm_distributed_pays_hops_warm_merged_does_not() {
         bulk_migrate: false,
         distributed,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (merged, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true, false))]);
     let (dist, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(true, true))]);
@@ -142,6 +144,8 @@ fn bulk_migration_defers_readiness_to_partition_end() {
         bulk_migrate: bulk,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (pipe, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec(false))]);
     let (bulk, _) = run_at(machine, vec![(SimTime::ZERO, spec(true))]);
@@ -175,6 +179,8 @@ fn single_layer_model_runs_under_every_flag_combo() {
                 bulk_migrate: false,
                 distributed: false,
                 exec_scale: 1.0,
+                verify_loads: false,
+                hedge: None,
             };
             let (res, _) = run_at(machine.clone(), vec![(SimTime::ZERO, spec)]);
             assert!(res[0].latency().as_nanos() > 0);
@@ -218,6 +224,8 @@ fn warm_fast_path_matches_slow_path_exactly() {
         bulk_migrate: false,
         distributed: true, // Forces the per-layer path; no hops occur.
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (slow, _) = run_at(machine, vec![(SimTime::ZERO, spec)]);
     assert_eq!(

@@ -123,6 +123,21 @@ impl NetMap {
         }
     }
 
+    /// GPUs whose host→GPU path crosses `link`: the single GPU behind a
+    /// downstream PCIe link, or every GPU behind a switch uplink. NVLinks
+    /// carry no host traffic, so they map to no GPU. Failure detectors
+    /// use this to pick a canary destination for a suspected link and to
+    /// attribute a slow host transfer to the devices it affects.
+    pub fn host_gpus_behind(&self, machine: &Machine, link: LinkId) -> Vec<usize> {
+        if let Some(g) = self.gpu_pcie.iter().position(|&l| l == link) {
+            return vec![g];
+        }
+        if let Some(sw) = self.switch_uplink.iter().position(|&l| l == link) {
+            return machine.gpus_on_switch(sw);
+        }
+        Vec::new()
+    }
+
     /// Link path for a GPU→GPU NVLink transfer, or `None` when the pair is
     /// not NVLink-connected.
     pub fn gpu_to_gpu(&self, machine: &Machine, a: usize, b: usize) -> Option<Vec<LinkId>> {
@@ -211,6 +226,16 @@ mod tests {
         assert!(map.resolve_link(&LinkRef::PcieGpu(9)).is_none());
         assert_eq!(map.resolve_link(&LinkRef::Raw(0)), Some(LinkId(0)));
         assert!(map.resolve_link(&LinkRef::Raw(99)).is_none());
+    }
+
+    #[test]
+    fn host_gpus_behind_attributes_links_to_devices() {
+        let m = machine();
+        let (_net, map) = NetMap::build(&m).unwrap();
+        assert_eq!(map.host_gpus_behind(&m, map.gpu_pcie[2]), vec![2]);
+        assert_eq!(map.host_gpus_behind(&m, map.switch_uplink[0]), vec![0, 1]);
+        let nv = map.nvlink[0].1;
+        assert!(map.host_gpus_behind(&m, nv).is_empty());
     }
 
     #[test]

@@ -71,6 +71,58 @@ impl Default for RecoveryPolicy {
     }
 }
 
+/// Gray-failure detection: inferring link/GPU health from observable
+/// signals (transfer wire time vs the flow model, execution latency vs
+/// the cost model) instead of trusting fault announcements.
+///
+/// Disabled by default — a run with detection off is byte-identical to a
+/// server without the detector compiled in, and even with detection *on*
+/// a fault-free run only does arithmetic (baselines update, no event is
+/// scheduled and no plan changes).
+#[derive(Debug, Clone)]
+pub struct DetectionPolicy {
+    /// Master switch for the detector.
+    pub enabled: bool,
+    /// Suspicion score (phi-accrual style, ≈ -log10 of the probability
+    /// that the observation is healthy noise) at which a strike is
+    /// recorded against a link or GPU.
+    pub suspect_threshold: f64,
+    /// Observations a baseline needs before it can raise suspicion;
+    /// below this the detector only learns.
+    pub min_samples: u32,
+    /// Consecutive over-threshold strikes required to quarantine, so one
+    /// slow transfer (queueing noise, contention burst) never trips it.
+    pub strikes: u32,
+    /// Time a quarantined target waits before entering probation and
+    /// receiving canary traffic.
+    pub probation: SimDur,
+    /// Clean canary transfers required to reinstate a probing link.
+    pub canaries: u32,
+    /// Size of each canary transfer.
+    pub canary_bytes: u64,
+    /// Hedge weight transfers whose path crosses a suspected link: race
+    /// a duplicate once a block overruns its expected wire time.
+    pub hedge: bool,
+    /// Checksum-verify arriving weight blocks and re-fetch on mismatch.
+    pub checksum: bool,
+}
+
+impl Default for DetectionPolicy {
+    fn default() -> Self {
+        DetectionPolicy {
+            enabled: false,
+            suspect_threshold: 8.0,
+            min_samples: 8,
+            strikes: 2,
+            probation: SimDur::from_millis(200),
+            canaries: 3,
+            canary_bytes: 32 << 20,
+            hedge: true,
+            checksum: true,
+        }
+    }
+}
+
 /// Overload control: bounded admission queues and SLO-aware rejection.
 ///
 /// All defaults are inert — no cap, no early rejection, no escalation —
@@ -118,6 +170,9 @@ pub struct ServerConfig {
     pub recovery: RecoveryPolicy,
     /// Overload-control policy (bounded queues, early rejection).
     pub admission: AdmissionPolicy,
+    /// Gray-failure detection policy (health inference, quarantine,
+    /// hedged transfers, checksum verification).
+    pub detection: DetectionPolicy,
 }
 
 impl ServerConfig {
@@ -136,6 +191,7 @@ impl ServerConfig {
             faults: FaultPolicy::default(),
             recovery: RecoveryPolicy::default(),
             admission: AdmissionPolicy::default(),
+            detection: DetectionPolicy::default(),
         }
     }
 

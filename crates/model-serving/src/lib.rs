@@ -15,6 +15,7 @@
 pub mod capacity;
 pub mod catalog;
 pub mod config;
+pub mod detect;
 pub mod instance;
 pub mod memory;
 pub mod metrics;
@@ -22,7 +23,8 @@ pub mod server;
 pub mod workload;
 
 pub use catalog::DeployedModel;
-pub use config::{AdmissionPolicy, FaultPolicy, RecoveryPolicy, ServerConfig};
+pub use config::{AdmissionPolicy, DetectionPolicy, FaultPolicy, RecoveryPolicy, ServerConfig};
+pub use detect::Detector;
 pub use metrics::ServingReport;
 pub use server::{run_server, run_server_faulted, run_server_probed};
 pub use workload::{maf, poisson, Request};

@@ -34,6 +34,20 @@ pub struct ServingReport {
     /// Live plan migrations: resident instances whose on-GPU bytes were
     /// grown in place after a plan swap.
     pub plan_migrations: u64,
+    /// Quarantine transitions inferred by the gray-failure detector
+    /// (links and GPUs; re-quarantines after a dirty probation count).
+    pub quarantines: u64,
+    /// Targets reinstated to healthy after a clean probation.
+    pub reinstates: u64,
+    /// Canary transfers sent while probing quarantined links.
+    pub canaries: u64,
+    /// Weight transfers that raced a hedged duplicate.
+    pub hedged_transfers: u64,
+    /// Weight blocks re-fetched after a checksum mismatch.
+    pub checksum_refetches: u64,
+    /// Discrete events the simulation kernel executed for this run
+    /// (perf-trajectory metric; independent of any policy).
+    pub sim_events: u64,
     /// SLO used for goodput.
     pub slo: SimDur,
 }
@@ -55,6 +69,12 @@ impl ServingReport {
             aborted_runs: 0,
             replans: 0,
             plan_migrations: 0,
+            quarantines: 0,
+            reinstates: 0,
+            canaries: 0,
+            hedged_transfers: 0,
+            checksum_refetches: 0,
+            sim_events: 0,
             slo,
         }
     }

@@ -14,7 +14,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use exec_engine::hw::{HasHw, HwState, RunRef};
-use exec_engine::launch::{abort_run, start_inference, DoneFn, LaunchSpec};
+use exec_engine::launch::{abort_run, start_inference, DoneFn, HedgeSpec, LaunchSpec};
+use exec_engine::result::InferenceResult;
 use exec_planner::generate_degraded;
 use exec_planner::plan::ExecutionPlan;
 use gpu_topology::health::{GpuHealth, LinkHealth};
@@ -22,12 +23,13 @@ use gpu_topology::select::pt_group;
 use simcore::driver::{set_link_capacity, start_flow, FlowDriver, HasFlowDriver};
 use simcore::fault::{FaultKind, FaultSpec};
 use simcore::flow::LinkId;
-use simcore::probe::{Probe, ProbeEvent, ShedCause};
+use simcore::probe::{DetectState, Probe, ProbeEvent, ShedCause, SilentFaultKind};
 use simcore::sim::{Ctx, Sim};
 use simcore::time::{SimDur, SimTime};
 
 use crate::catalog::DeployedModel;
 use crate::config::ServerConfig;
+use crate::detect::{Detector, Transition};
 use crate::instance::{Instance, Residency};
 use crate::memory::{make_room_with, GpuCache};
 use crate::metrics::ServingReport;
@@ -99,6 +101,16 @@ pub struct ServerState {
     /// loaded under the old plan keep their old footprint until evicted
     /// or migrated.
     inst_resident: Vec<u64>,
+    // --- detection state (inert unless cfg.detection.enabled) ---
+    /// Observation-driven health inference; `Some` iff detection is on.
+    detector: Option<Detector>,
+    /// Ground-truth silent capacity factor per link. Fault plumbing
+    /// only — the detector never reads it; it multiplies into effective
+    /// link capacity without any health event or announcement.
+    silent_link_factor: Vec<f64>,
+    /// Ground-truth silent compute multiplier per GPU (> 1 is slower).
+    /// Folded into dispatched runs' `exec_scale`, never announced.
+    silent_gpu_factor: Vec<f64>,
 }
 
 impl HasFlowDriver for ServerState {
@@ -137,6 +149,11 @@ impl ServerState {
         let link_health = LinkHealth::snapshot(&flows.net);
         let active_plans: Vec<Arc<ExecutionPlan>> = kinds.iter().map(|k| k.plan.clone()).collect();
         let inst_resident: Vec<u64> = instance_kinds.iter().map(|&k| sizes[k]).collect();
+        let n_links = flows.net.link_count();
+        let detector = cfg
+            .detection
+            .enabled
+            .then(|| Detector::new(cfg.detection.clone(), n_links, n_gpus));
         ServerState {
             hw,
             flows,
@@ -164,6 +181,9 @@ impl ServerState {
             active_plans,
             plan_signature: None,
             inst_resident,
+            detector,
+            silent_link_factor: vec![1.0; n_links],
+            silent_gpu_factor: vec![1.0; n_gpus],
         }
     }
 
@@ -221,14 +241,47 @@ impl ServerState {
         }
     }
 
-    /// GPU choice for a non-resident instance: shortest queue, then most
-    /// free cache, then lowest index — healthy GPUs only. `None` when
-    /// every GPU is down.
+    /// Whether GPU `g` may take *new* placements: up per the oracle and
+    /// not quarantined by the detector. A quarantined GPU keeps serving
+    /// its already-resident instances (it is slow, not dead — re-routing
+    /// them would cold-start every one elsewhere), but new instances and
+    /// parallel-transmission lending avoid it.
+    fn gpu_ok(&self, g: usize) -> bool {
+        self.gpu_up.is_up(g)
+            && self
+                .detector
+                .as_ref()
+                .is_none_or(|d| d.gpu_state(g) != DetectState::Quarantined)
+    }
+
+    /// Whether GPU `g`'s host path is believed degraded — by an
+    /// announced `link-degrade` *or* by detector inference. Cold
+    /// placement demotes such GPUs: a cold start routed onto a slow
+    /// wire pays the slowdown on every weight byte, so steering new
+    /// instances to clean paths is the serving layer's main lever
+    /// against a sick link (re-planning only rebalances Load vs DHA).
+    /// Oracle and detector pull the same lever, which is what makes
+    /// their fault-window tails comparable.
+    fn path_impaired(&self, g: usize) -> bool {
+        let uplink = self.hw.map.switch_uplink[self.cfg.machine.switch_of(g)];
+        let pcie = self.hw.map.gpu_pcie[g];
+        if self.link_health.factor(uplink) < 1.0 || self.link_health.factor(pcie) < 1.0 {
+            return true;
+        }
+        self.detector
+            .as_ref()
+            .is_some_and(|d| d.link_factor(uplink) < 1.0 || d.link_factor(pcie) < 1.0)
+    }
+
+    /// GPU choice for a non-resident instance: clean host path first,
+    /// then shortest queue, then most free cache, then lowest index —
+    /// healthy GPUs only. `None` when every GPU is down.
     fn pick_gpu(&self) -> Option<usize> {
         (0..self.queues.len())
-            .filter(|&g| self.gpu_up.is_up(g))
+            .filter(|&g| self.gpu_ok(g))
             .min_by_key(|&g| {
                 (
+                    self.path_impaired(g),
                     self.queues[g].len() + usize::from(self.busy[g]),
                     u64::MAX - self.caches[g].free(),
                     g,
@@ -237,9 +290,37 @@ impl ServerState {
     }
 
     /// Whether the cluster is running below healthy capacity (a GPU down
-    /// or any link degraded) — the trigger for priority shedding.
+    /// or any link degraded, per announcement *or* inference) — the
+    /// trigger for priority shedding.
     fn degraded(&self) -> bool {
-        self.gpu_up.up_count() < self.gpu_up.len() || self.link_health.any_degraded()
+        self.gpu_up.up_count() < self.gpu_up.len()
+            || self.link_health.any_degraded()
+            || self.detector.as_ref().is_some_and(|d| d.any_suspected())
+    }
+
+    /// Believed solo transfer rate of GPU `g`'s host path: healthy
+    /// capacity times *announced* health factor, minimum over the path.
+    /// Deliberately ignorant of silent faults — this is the performance
+    /// model's expectation, and the gap between it and observed wire
+    /// time is exactly the detector's signal.
+    fn believed_path_rate(&self, g: usize) -> f64 {
+        let uplink = self.hw.map.switch_uplink[self.cfg.machine.switch_of(g)];
+        let pcie = self.hw.map.gpu_pcie[g];
+        [uplink, pcie]
+            .iter()
+            .map(|&l| self.link_health.healthy_capacity(l) * self.link_health.factor(l))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Whether any serving work remains (pending arrivals, queued or
+    /// executing requests). The detector's probation timers and canary
+    /// probes re-arm only while this holds — otherwise a permanently
+    /// sick link would keep the quarantine → probation → dirty-canary
+    /// cycle alive forever and the simulation would never go idle.
+    fn serving_active(&self) -> bool {
+        !self.pending.is_empty()
+            || self.busy.iter().any(|&b| b)
+            || self.queues.iter().any(|q| !q.is_empty())
     }
 
     /// Sheds a request: counted, never served.
@@ -449,15 +530,42 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             .map(|grp| {
                 grp.into_iter()
                     .skip(1)
-                    // A downed partner cannot lend its PCIe lane; the
-                    // surplus partition folds back onto the primary.
-                    .filter(|&sg| s.gpu_up.is_up(sg))
+                    // A downed (or detector-quarantined) partner cannot
+                    // lend its PCIe lane; the surplus partition folds
+                    // back onto the primary.
+                    .filter(|&sg| s.gpu_ok(sg))
                     .collect()
             })
             .unwrap_or_default()
     } else {
         Vec::new()
     };
+    // The *announced* slowdown is the cost model's expectation; a
+    // silent GPU fault multiplies on top without being announced, and
+    // the gap is what the detector scores.
+    let disp_slowdown = s.slowdown;
+    let silent = s.silent_gpu_factor[g];
+    let exec_scale = if silent == 1.0 {
+        s.slowdown
+    } else {
+        s.slowdown * silent
+    };
+    let verify_loads = s.detector.as_ref().is_some_and(|d| d.policy().checksum);
+    // With detection on, every host→GPU weight transfer of the run —
+    // cold load blocks and DHA reads alike (warm runs still issue DHA
+    // reads) — is eligible to hedge: the watchdog only fires when a
+    // transfer overruns several times its contention-aware expectation,
+    // so healthy transfers never duplicate, while a stuck or
+    // silently-slow path gets raced.
+    let hedge = s
+        .detector
+        .as_ref()
+        .filter(|d| d.policy().hedge)
+        .map(|_| HedgeSpec {
+            rate_bps: s.believed_path_rate(g),
+            factor: 4.0,
+            floor: SimDur::from_millis(10),
+        });
     let spec = LaunchSpec {
         rt: rt.clone(),
         plan: plan.clone(),
@@ -467,7 +575,9 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         skip_exec: false,
         bulk_migrate: false,
         distributed: false,
-        exec_scale: s.slowdown,
+        exec_scale,
+        verify_loads,
+        hedge,
     };
     let arrival = q.arrival;
     let req_id = q.req;
@@ -502,6 +612,7 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
                     queue_wait_ns: (dispatched - arrival).as_nanos(),
                 },
             );
+            note_observation(s, ctx, g, inst_id, warm, disp_slowdown, &res);
             on_complete(s, ctx, g, inst_id, warm, arrival, res.finished);
         })
     };
@@ -521,7 +632,9 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
                 skip_exec: false,
                 bulk_migrate: false,
                 distributed: false,
-                exec_scale: s.slowdown,
+                exec_scale,
+                verify_loads,
+                hedge,
             };
             start_inference(s, ctx, fallback, make_done())
                 .expect("primary-only launch cannot require NVLink")
@@ -558,6 +671,216 @@ fn on_complete(
         s.report.record(finished, finished - arrival, !warm);
     }
     try_dispatch(s, ctx, g);
+}
+
+/// Feeds the detector everything observable from one completed run:
+/// warm executions score the primary GPU against the cost model's
+/// expected execution time, and each loading slot scores every link of
+/// its host path against the flow model's expected wire time. The
+/// expectations use healthy capacities and *announced* health only —
+/// no oracle state — so a silent fault shows up as a ratio well above
+/// the learned baseline. No-op without a detector.
+fn note_observation(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    g: usize,
+    inst_id: usize,
+    warm: bool,
+    disp_slowdown: f64,
+    res: &InferenceResult,
+) {
+    if s.detector.is_none() {
+        return;
+    }
+    let mut transitions: Vec<Transition> = Vec::new();
+    if warm {
+        let kind = s.instances[inst_id].kind;
+        let expected = s.kinds[kind].profile.exec_inmem_total().as_secs_f64() * disp_slowdown;
+        if expected > 0.0 {
+            let ratio = res.exec_busy.as_secs_f64() / expected;
+            let d = s.detector.as_mut().expect("checked above");
+            transitions.extend(d.observe_gpu(g, ratio));
+        }
+    }
+    for obs in &res.slot_loads {
+        let believed = s.believed_path_rate(obs.gpu);
+        if believed <= 0.0 || !believed.is_finite() || obs.bytes <= 0.0 {
+            continue;
+        }
+        let expected = obs.bytes / believed;
+        let ratio = obs.span.as_secs_f64() / expected;
+        // Blame lands on the path's *leaf* (the GPU's own PCIe lane)
+        // only. A single observation cannot tell the lane from the
+        // shared switch uplink apart, and blaming both would let one
+        // sick lane falsely quarantine the uplink — and with it every
+        // healthy sibling behind the switch. A genuinely slow uplink is
+        // still caught: it degrades the observations of *all* lanes
+        // behind it, and per-GPU path factors fold the lane tracks the
+        // same way they would an uplink track.
+        let leaf = s.hw.map.gpu_pcie[obs.gpu];
+        let d = s.detector.as_mut().expect("checked above");
+        transitions.extend(d.observe_link(leaf, ratio));
+    }
+    for t in transitions {
+        handle_transition(s, ctx, t);
+    }
+}
+
+/// Maps one detector state change onto the serving plane: probe events,
+/// counters, probation timers, canary traffic, and — through
+/// [`note_topology_change`] — the same re-plan/migrate/rollback path an
+/// announced health transition takes. The recovery manager cannot tell
+/// an inferred signature from an oracle one.
+fn handle_transition(s: &mut ServerState, ctx: &mut Ctx<ServerState>, t: Transition) {
+    let now = ctx.now();
+    match t {
+        Transition::LinkQuarantined(l) => {
+            s.report.quarantines += 1;
+            let d = s.detector.as_ref().expect("transition implies detector");
+            let (score, epoch) = (d.link_score_milli(l), d.link_epoch(l));
+            s.probe.emit(
+                now,
+                ProbeEvent::LinkInferred {
+                    link: l.0,
+                    state: DetectState::Quarantined,
+                    score_milli: score,
+                },
+            );
+            if s.serving_active() {
+                ctx.schedule_in(
+                    s.cfg.detection.probation,
+                    Box::new(move |s: &mut ServerState, ctx| {
+                        let t = s.detector.as_mut().and_then(|d| d.link_probation(l, epoch));
+                        if let Some(t) = t {
+                            handle_transition(s, ctx, t);
+                        }
+                    }),
+                );
+            }
+            note_topology_change(s, ctx);
+        }
+        Transition::LinkProbation(l) => {
+            let score = s.detector.as_ref().map_or(0, |d| d.link_score_milli(l));
+            s.probe.emit(
+                now,
+                ProbeEvent::LinkInferred {
+                    link: l.0,
+                    state: DetectState::Probation,
+                    score_milli: score,
+                },
+            );
+            send_canary(s, ctx, l);
+        }
+        Transition::LinkReinstated(l) => {
+            s.report.reinstates += 1;
+            let score = s.detector.as_ref().map_or(0, |d| d.link_score_milli(l));
+            s.probe.emit(
+                now,
+                ProbeEvent::LinkInferred {
+                    link: l.0,
+                    state: DetectState::Healthy,
+                    score_milli: score,
+                },
+            );
+            note_topology_change(s, ctx);
+        }
+        Transition::GpuQuarantined(g) => {
+            s.report.quarantines += 1;
+            let d = s.detector.as_ref().expect("transition implies detector");
+            let (score, epoch) = (d.gpu_score_milli(g), d.gpu_epoch(g));
+            s.probe.emit(
+                now,
+                ProbeEvent::GpuInferred {
+                    gpu: g,
+                    state: DetectState::Quarantined,
+                    score_milli: score,
+                },
+            );
+            if s.serving_active() {
+                ctx.schedule_in(
+                    s.cfg.detection.probation,
+                    Box::new(move |s: &mut ServerState, ctx| {
+                        let t = s.detector.as_mut().and_then(|d| d.gpu_probation(g, epoch));
+                        if let Some(t) = t {
+                            handle_transition(s, ctx, t);
+                        }
+                    }),
+                );
+            }
+            note_topology_change(s, ctx);
+        }
+        Transition::GpuReinstated(g) => {
+            s.report.reinstates += 1;
+            let score = s.detector.as_ref().map_or(0, |d| d.gpu_score_milli(g));
+            s.probe.emit(
+                now,
+                ProbeEvent::GpuInferred {
+                    gpu: g,
+                    state: DetectState::Healthy,
+                    score_milli: score,
+                },
+            );
+            note_topology_change(s, ctx);
+            try_dispatch(s, ctx, g);
+        }
+    }
+}
+
+/// Sends one canary transfer over a probing link's host path and scores
+/// it against the believed healthy rate (contention-adjusted via the
+/// host-flow counts). Each completion either resolves probation — clean
+/// canaries accumulate toward reinstatement, a dirty one re-quarantines
+/// — or triggers the next canary.
+fn send_canary(s: &mut ServerState, ctx: &mut Ctx<ServerState>, l: LinkId) {
+    if !s.serving_active() {
+        return; // Trace drained — let the simulation wind down.
+    }
+    let Some(&g0) = s.hw.map.host_gpus_behind(&s.cfg.machine, l).first() else {
+        // NVLinks carry no host traffic, are never observed, and so can
+        // never reach probation; nothing to probe.
+        return;
+    };
+    let path = s.hw.map.host_to_gpu(&s.cfg.machine, g0);
+    let bytes = s.cfg.detection.canary_bytes as f64;
+    let believed = s.believed_path_rate(g0);
+    if believed <= 0.0 || !believed.is_finite() || bytes <= 0.0 {
+        return;
+    }
+    let n_shared = s.hw.host_flow_started(&path);
+    let expected = bytes * f64::from(n_shared) / believed;
+    s.report.canaries += 1;
+    s.probe.emit(
+        ctx.now(),
+        ProbeEvent::CanarySent {
+            link: l.0,
+            bytes: s.cfg.detection.canary_bytes,
+        },
+    );
+    let sent = ctx.now();
+    let obs_path = path.clone();
+    start_flow(
+        s,
+        ctx,
+        bytes,
+        path,
+        Box::new(move |s: &mut ServerState, ctx| {
+            s.hw.host_flow_finished(&obs_path);
+            let ratio = (ctx.now() - sent).as_secs_f64() / expected;
+            let t = s.detector.as_mut().and_then(|d| d.observe_canary(l, ratio));
+            match t {
+                Some(t) => handle_transition(s, ctx, t),
+                None => {
+                    // Clean but not yet enough: keep probing.
+                    if s.detector
+                        .as_ref()
+                        .is_some_and(|d| d.link_state(l) == DetectState::Probation)
+                    {
+                        send_canary(s, ctx, l);
+                    }
+                }
+            }
+        }),
+    );
 }
 
 /// Re-queues a request on a healthy GPU, counting it as a retry. Sheds
@@ -705,14 +1028,32 @@ fn note_topology_change(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
 fn replan(s: &mut ServerState, ctx: &mut Ctx<ServerState>) {
     let now = ctx.now();
     let n = s.gpu_up.len();
-    let gpu_up: Vec<bool> = (0..n).map(|g| s.gpu_up.is_up(g)).collect();
+    // Inferred health folds into the same planner inputs as announced
+    // health: a quarantined GPU plans as down, a quarantined/probation
+    // link contributes its inferred slowdown factor. The signature (and
+    // therefore the whole swap/migrate/rollback machinery) cannot tell
+    // oracle knowledge from detector knowledge.
+    let gpu_up: Vec<bool> = (0..n)
+        .map(|g| {
+            s.gpu_up.is_up(g)
+                && s.detector
+                    .as_ref()
+                    .is_none_or(|d| d.gpu_state(g) != DetectState::Quarantined)
+        })
+        .collect();
     // A GPU's effective host bandwidth is capped by the slower of its
     // switch uplink and its own PCIe lane.
     let factors: Vec<f64> = (0..n)
         .map(|g| {
             let uplink = s.hw.map.switch_uplink[s.cfg.machine.switch_of(g)];
             let pcie = s.hw.map.gpu_pcie[g];
-            s.link_health.factor(uplink).min(s.link_health.factor(pcie))
+            let announced = s.link_health.factor(uplink).min(s.link_health.factor(pcie));
+            match &s.detector {
+                Some(d) => announced
+                    .min(d.link_factor(uplink))
+                    .min(d.link_factor(pcie)),
+                None => announced,
+            }
         })
         .collect();
     let signature = (
@@ -930,7 +1271,11 @@ fn apply_fault(s: &mut ServerState, ctx: &mut Ctx<ServerState>, kind: FaultKind)
                         capacity_bps: cap,
                     },
                 );
-                set_link_capacity(s, ctx, l, cap);
+                // Any silent slowdown on the same wire compounds with
+                // the announced degradation.
+                let silent = s.silent_link_factor[l.0];
+                let eff = if silent == 1.0 { cap } else { cap * silent };
+                set_link_capacity(s, ctx, l, eff);
                 note_topology_change(s, ctx);
             }
         }
@@ -944,8 +1289,92 @@ fn apply_fault(s: &mut ServerState, ctx: &mut Ctx<ServerState>, kind: FaultKind)
                         capacity_bps: cap,
                     },
                 );
-                set_link_capacity(s, ctx, l, cap);
+                let silent = s.silent_link_factor[l.0];
+                let eff = if silent == 1.0 { cap } else { cap * silent };
+                set_link_capacity(s, ctx, l, eff);
                 note_topology_change(s, ctx);
+            }
+        }
+        // Silent (gray) faults: the physics changes but *no* health
+        // announcement is made — link_health / gpu_up never hear about
+        // it, no LinkCapacity probe fires, and the recovery plane is not
+        // nudged. Only inference from observable timings can catch them.
+        FaultKind::SilentLinkSlow { link, factor } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                if factor.is_finite() && factor > 0.0 {
+                    s.silent_link_factor[l.0] = factor;
+                    s.probe.emit(
+                        ctx.now(),
+                        ProbeEvent::SilentFaultInjected {
+                            kind: SilentFaultKind::LinkSlow,
+                            target: l.0,
+                        },
+                    );
+                    let cap = s.link_health.healthy_capacity(l) * s.link_health.factor(l) * factor;
+                    set_link_capacity(s, ctx, l, cap);
+                }
+            }
+        }
+        FaultKind::SilentLinkRestore { link } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                s.silent_link_factor[l.0] = 1.0;
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::SilentFaultInjected {
+                        kind: SilentFaultKind::LinkRestore,
+                        target: l.0,
+                    },
+                );
+                let cap = s.link_health.healthy_capacity(l) * s.link_health.factor(l);
+                set_link_capacity(s, ctx, l, cap);
+            }
+        }
+        FaultKind::SilentGpuSlow { gpu, factor } => {
+            if gpu < s.silent_gpu_factor.len() && factor.is_finite() && factor > 0.0 {
+                s.silent_gpu_factor[gpu] = factor;
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::SilentFaultInjected {
+                        kind: SilentFaultKind::GpuSlow,
+                        target: gpu,
+                    },
+                );
+            }
+        }
+        FaultKind::SilentGpuRestore { gpu } => {
+            if gpu < s.silent_gpu_factor.len() {
+                s.silent_gpu_factor[gpu] = 1.0;
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::SilentFaultInjected {
+                        kind: SilentFaultKind::GpuRestore,
+                        target: gpu,
+                    },
+                );
+            }
+        }
+        FaultKind::StuckFlow { link, stall } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                s.flows.arm_stuck(l, stall);
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::SilentFaultInjected {
+                        kind: SilentFaultKind::StuckFlow,
+                        target: l.0,
+                    },
+                );
+            }
+        }
+        FaultKind::CorruptTransfer { link } => {
+            if let Some(l) = s.hw.map.resolve_link(&link) {
+                s.flows.arm_corrupt(l);
+                s.probe.emit(
+                    ctx.now(),
+                    ProbeEvent::SilentFaultInjected {
+                        kind: SilentFaultKind::CorruptTransfer,
+                        target: l.0,
+                    },
+                );
             }
         }
         FaultKind::HostMemPressure { bytes } => apply_mem_pressure(s, ctx, bytes),
@@ -1096,7 +1525,12 @@ pub fn run_server_faulted(
         }
     }
     sim.run_until_idle();
-    sim.into_state().report
+    let events = sim.executed_events();
+    let mut state = sim.into_state();
+    state.report.sim_events = events;
+    state.report.hedged_transfers = state.flows.hedged;
+    state.report.checksum_refetches = state.hw.refetches;
+    state.report
 }
 
 #[cfg(test)]

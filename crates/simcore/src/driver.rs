@@ -7,12 +7,14 @@
 //! correct when new flows join mid-transfer (e.g. a DHA read starting while
 //! a load is in flight).
 
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::rc::Rc;
 
 use crate::flow::{FlowId, FlowNet, LinkId};
 use crate::probe::{Probe, ProbeEvent};
 use crate::sim::{Ctx, EventFn};
-use crate::time::SimTime;
+use crate::time::{SimDur, SimTime};
 
 /// A [`FlowNet`] wired into the simulator with completion callbacks.
 pub struct FlowDriver<S> {
@@ -21,11 +23,20 @@ pub struct FlowDriver<S> {
     /// Observability bus; emits per-link bandwidth-share counters after
     /// every rate change. Disabled (free) by default.
     pub probe: Probe,
+    /// Hedged duplicate transfers launched so far (gray-failure mitigation
+    /// bookkeeping, surfaced in serving reports).
+    pub hedged: u64,
     gen: u64,
     callbacks: HashMap<u64, EventFn<S>>,
     /// Links that carried flows at the last probe emission, so idle
     /// transitions publish a zero sample closing the counter track.
     link_busy: Vec<bool>,
+    /// Gray-failure arms: the next flow crossing an armed link stalls for
+    /// the given duration before resuming.
+    stuck_arms: Vec<(LinkId, SimDur)>,
+    /// Gray-failure arms: the next checksum-verified payload crossing an
+    /// armed link arrives corrupted.
+    corrupt_arms: Vec<LinkId>,
 }
 
 impl<S> Default for FlowDriver<S> {
@@ -33,9 +44,12 @@ impl<S> Default for FlowDriver<S> {
         FlowDriver {
             net: FlowNet::new(),
             probe: Probe::disabled(),
+            hedged: 0,
             gen: 0,
             callbacks: HashMap::new(),
             link_busy: Vec::new(),
+            stuck_arms: Vec::new(),
+            corrupt_arms: Vec::new(),
         }
     }
 }
@@ -87,6 +101,34 @@ impl<S> FlowDriver<S> {
         }
         self.link_busy = busy;
     }
+
+    /// Arms a stuck-flow gray failure: the next flow started across
+    /// `link` makes no progress for `stall`, then resumes. Arms are
+    /// consumed FIFO, one per flow.
+    pub fn arm_stuck(&mut self, link: LinkId, stall: SimDur) {
+        self.stuck_arms.push((link, stall));
+    }
+
+    /// Arms a corrupt-transfer gray failure: the next checksum-carrying
+    /// payload crossing `link` (as reported by [`FlowDriver::take_corrupt`])
+    /// arrives with a checksum mismatch.
+    pub fn arm_corrupt(&mut self, link: LinkId) {
+        self.corrupt_arms.push(link);
+    }
+
+    /// Consumes a pending corrupt-transfer arm matching any link in
+    /// `path`, returning whether the payload about to be streamed there
+    /// is corrupted. Callers that verify checksums invoke this once per
+    /// payload, right before starting its flow.
+    pub fn take_corrupt(&mut self, path: &[LinkId]) -> bool {
+        match self.corrupt_arms.iter().position(|l| path.contains(l)) {
+            Some(i) => {
+                self.corrupt_arms.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// States that embed a [`FlowDriver`] keyed on themselves.
@@ -113,13 +155,122 @@ pub fn start_flow<S: HasFlowDriver>(
     let now = ctx.now();
     let d = state.flow_driver();
     d.net.advance(now);
+    let arm = d.stuck_arms.iter().position(|(l, _)| path.contains(l));
     let id = d.net.add_flow(bytes, path);
     d.callbacks.insert(id.0, on_done);
+    // Consume a stuck arm only if the flow actually froze (zero-byte
+    // flows complete immediately and cannot stall).
+    if let Some(i) = arm {
+        if d.net.freeze_flow(id) {
+            let (_, stall) = d.stuck_arms.remove(i);
+            ctx.schedule_in(
+                stall,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+                    unfreeze_flow(state, ctx, id);
+                }),
+            );
+        }
+    }
     d.gen += 1;
     d.emit_link_shares(now);
     fire_completions(state, ctx);
     reschedule_tick(state, ctx);
     id
+}
+
+/// Re-admits a flow frozen by a stuck-flow arm to the fair allocation.
+/// A no-op when the flow has already completed or been cancelled.
+///
+/// Must be called from inside an event handler.
+pub fn unfreeze_flow<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>, id: FlowId) {
+    let now = ctx.now();
+    let d = state.flow_driver();
+    d.net.advance(now);
+    if !d.net.unfreeze_flow(id) {
+        return;
+    }
+    d.gen += 1;
+    d.emit_link_shares(now);
+    fire_completions(state, ctx);
+    reschedule_tick(state, ctx);
+}
+
+/// Starts a flow with a hedged duplicate: if the primary transfer has not
+/// completed within `timeout`, an identical duplicate is launched on the
+/// same path and whichever finishes first delivers `on_done` (the loser
+/// is cancelled). This is the tail-latency mitigation for *suspected*
+/// links — a transfer wedged by a gray failure is raced by a fresh copy
+/// instead of waiting out the stall.
+///
+/// Must be called from inside an event handler. Returns the primary
+/// flow's id.
+pub fn start_flow_hedged<S: HasFlowDriver>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    bytes: f64,
+    path: Vec<LinkId>,
+    timeout: SimDur,
+    on_done: EventFn<S>,
+) -> FlowId {
+    struct Race<S> {
+        settled: bool,
+        ids: Vec<FlowId>,
+        on_done: Option<EventFn<S>>,
+    }
+    let race = Rc::new(RefCell::new(Race {
+        settled: false,
+        ids: Vec::new(),
+        on_done: Some(on_done),
+    }));
+    // Both contestants share one finish line: the first to complete takes
+    // the callback, cancels every other contestant, and delivers.
+    fn finish_line<S: HasFlowDriver>(race: &Rc<RefCell<Race<S>>>) -> EventFn<S> {
+        let race = Rc::clone(race);
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            let (ids, cb) = {
+                let mut r = race.borrow_mut();
+                if r.settled {
+                    return;
+                }
+                r.settled = true;
+                (std::mem::take(&mut r.ids), r.on_done.take())
+            };
+            for id in ids {
+                // Cancelling the winner itself is a harmless no-op.
+                cancel_flow(state, ctx, id);
+            }
+            if let Some(cb) = cb {
+                cb(state, ctx);
+            }
+        })
+    }
+    let primary = start_flow(state, ctx, bytes, path.clone(), finish_line(&race));
+    race.borrow_mut().ids.push(primary);
+    let watchdog = Rc::clone(&race);
+    ctx.schedule_in(
+        timeout,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            if watchdog.borrow().settled {
+                return;
+            }
+            // Hedge only while the primary is genuinely still in flight.
+            if state.flow_driver().net.flow_remaining(primary).is_none() {
+                return;
+            }
+            let hedge = start_flow(state, ctx, bytes, path, finish_line(&watchdog));
+            watchdog.borrow_mut().ids.push(hedge);
+            let d = state.flow_driver();
+            d.hedged += 1;
+            d.probe.emit(
+                ctx.now(),
+                ProbeEvent::FlowHedged {
+                    primary: primary.0,
+                    hedge: hedge.0,
+                },
+            );
+        }),
+    );
+    primary
 }
 
 /// Changes a link's capacity mid-simulation (fault injection), keeping
@@ -364,6 +515,154 @@ mod tests {
         assert_eq!(log.len(), 1);
         assert_eq!(log[0].0, 2);
         assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stuck_arm_stalls_next_flow_then_resumes() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                w.flow_driver()
+                    .arm_stuck(l, crate::time::SimDur::from_millis(500));
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        // 1.0 s transfer + 0.5 s stall: completes at t = 1.5.
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1);
+        assert!((log[0].1.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stuck_arm_is_consumed_once_and_ignores_other_links() {
+        let mut net = FlowNet::new();
+        let l0 = net.add_link(100.0);
+        let l1 = net.add_link(100.0);
+        let world = World {
+            driver: FlowDriver::with_net(net),
+            log: Vec::new(),
+            started: Vec::new(),
+        };
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                w.flow_driver()
+                    .arm_stuck(l0, crate::time::SimDur::from_secs_f64(10.0));
+                // Crosses only l1: unaffected.
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l1],
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+                // First flow on l0 consumes the arm.
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l0],
+                    Box::new(|w: &mut World, ctx| w.log.push((2, ctx.now()))),
+                );
+                // Second flow on l0 is clean.
+                start_flow(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l0],
+                    Box::new(|w: &mut World, ctx| w.log.push((3, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].0, 1);
+        assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-6);
+        // The clean l0 flow had the link to itself while its sibling was
+        // stalled: done at t=1.0 too (FIFO after flow 1).
+        assert_eq!(log[1].0, 3);
+        assert!((log[1].1.as_secs_f64() - 1.0).abs() < 1e-6);
+        // The stalled flow resumes at t=10 and finishes at t=11.
+        assert_eq!(log[2].0, 2);
+        assert!((log[2].1.as_secs_f64() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corrupt_arm_is_consumed_once_per_matching_path() {
+        let (mut world, l) = world_with_link(100.0);
+        world.flow_driver().arm_corrupt(l);
+        let d = world.flow_driver();
+        assert!(!d.take_corrupt(&[LinkId(999)]));
+        assert!(d.take_corrupt(&[l]));
+        assert!(!d.take_corrupt(&[l]), "arm must be consumed");
+    }
+
+    #[test]
+    fn hedged_flow_races_a_duplicate_past_a_stall() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                // The primary wedges for 10 s; the hedge launched at
+                // t=2 s finishes a clean 1 s transfer at t=3 s.
+                w.flow_driver()
+                    .arm_stuck(l, crate::time::SimDur::from_secs_f64(10.0));
+                start_flow_hedged(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    crate::time::SimDur::from_secs_f64(2.0),
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1, "hedge winner delivers exactly once");
+        assert!((log[0].1.as_secs_f64() - 3.0).abs() < 1e-6);
+        assert_eq!(sim.state_mut().flow_driver().hedged, 1);
+        assert_eq!(
+            sim.state_mut().flow_driver().net.active_flows(),
+            0,
+            "loser must be cancelled"
+        );
+    }
+
+    #[test]
+    fn hedged_flow_that_completes_in_time_never_duplicates() {
+        let (world, l) = world_with_link(100.0);
+        let mut sim = Sim::new(world);
+        sim.schedule_at(
+            SimTime::ZERO,
+            Box::new(move |w: &mut World, ctx| {
+                start_flow_hedged(
+                    w,
+                    ctx,
+                    100.0,
+                    vec![l],
+                    crate::time::SimDur::from_secs_f64(5.0),
+                    Box::new(|w: &mut World, ctx| w.log.push((1, ctx.now()))),
+                );
+            }),
+        );
+        sim.run_until_idle();
+        let log = &sim.state().log;
+        assert_eq!(log.len(), 1);
+        assert!((log[0].1.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert_eq!(sim.state_mut().flow_driver().hedged, 0);
     }
 
     #[test]

@@ -82,6 +82,55 @@ pub enum FaultKind {
     },
     /// Compute speed returns to normal for new dispatches.
     SlowdownEnd,
+    /// **Silent** (gray) failure: `link` runs at `factor` × its healthy
+    /// capacity but no health transition is announced — `LinkHealth`
+    /// still believes the link is fine. Only a failure detector watching
+    /// transfer times can notice.
+    SilentLinkSlow {
+        /// Affected link.
+        link: LinkRef,
+        /// Fraction of healthy capacity actually delivered (clamped to
+        /// ≥ 0.001 by hosts).
+        factor: f64,
+    },
+    /// The silently slowed `link` returns to spec — again without any
+    /// announcement.
+    SilentLinkRestore {
+        /// Restored link.
+        link: LinkRef,
+    },
+    /// **Silent** failure: every kernel dispatched to `gpu` runs
+    /// `factor`× slower (a thermally throttled or misbehaving device
+    /// that still reports healthy).
+    SilentGpuSlow {
+        /// Affected GPU.
+        gpu: usize,
+        /// Execution-time multiplier (≥ 1 slows down).
+        factor: f64,
+    },
+    /// The silently slowed `gpu` returns to normal speed.
+    SilentGpuRestore {
+        /// Restored GPU.
+        gpu: usize,
+    },
+    /// **Silent** failure: the next transfer started across `link` stops
+    /// making progress for `stall`, then resumes. The flow model keeps
+    /// the transfer alive, so nothing times out on its own — an observer
+    /// only sees a transfer taking far longer than the model predicts.
+    StuckFlow {
+        /// Affected link.
+        link: LinkRef,
+        /// How long the wedged transfer makes no progress.
+        stall: SimDur,
+    },
+    /// **Silent** failure: the next weight stream across `link` arrives
+    /// with a payload checksum mismatch. Without verification the corrupt
+    /// weights are served; with checksum-verify enabled the block is
+    /// detected and refetched.
+    CorruptTransfer {
+        /// Affected link.
+        link: LinkRef,
+    },
 }
 
 /// A fault pinned to a simulated instant.
@@ -219,6 +268,12 @@ impl FaultSpec {
     /// slowdown-end@2s
     /// link-flap:pcie=0,up=2s,down=300ms,factor=0.3
     /// gpu-crash:gpu=2,mtbf=10s,mttr=1s
+    /// silent-link-slow@2s:pcie=0,factor=0.4
+    /// silent-link-restore@8s:pcie=0
+    /// silent-gpu-slow@2s:gpu=1,factor=3
+    /// silent-gpu-restore@8s:gpu=1
+    /// stuck-flow@2s:uplink=0,stall=500ms
+    /// corrupt-transfer@2s:pcie=1
     /// ```
     ///
     /// Links are named `pcie=G`, `uplink=S`, `nvlink=A-B` or `link=N`
@@ -326,6 +381,41 @@ fn parse_entry(entry: &str, out: &mut FaultSpec) -> Result<(), String> {
         }
         "slowdown-end" => {
             let ev = scheduled(FaultKind::SlowdownEnd)?;
+            out.scheduled.push(ev);
+        }
+        "silent-link-slow" => {
+            let ev = scheduled(FaultKind::SilentLinkSlow {
+                link: link()?,
+                factor: parse_f64(get("factor")?)?,
+            })?;
+            out.scheduled.push(ev);
+        }
+        "silent-link-restore" => {
+            let ev = scheduled(FaultKind::SilentLinkRestore { link: link()? })?;
+            out.scheduled.push(ev);
+        }
+        "silent-gpu-slow" => {
+            let ev = scheduled(FaultKind::SilentGpuSlow {
+                gpu: parse_usize(get("gpu")?)?,
+                factor: parse_f64(get("factor")?)?,
+            })?;
+            out.scheduled.push(ev);
+        }
+        "silent-gpu-restore" => {
+            let ev = scheduled(FaultKind::SilentGpuRestore {
+                gpu: parse_usize(get("gpu")?)?,
+            })?;
+            out.scheduled.push(ev);
+        }
+        "stuck-flow" => {
+            let ev = scheduled(FaultKind::StuckFlow {
+                link: link()?,
+                stall: parse_dur(get("stall")?)?,
+            })?;
+            out.scheduled.push(ev);
+        }
+        "corrupt-transfer" => {
+            let ev = scheduled(FaultKind::CorruptTransfer { link: link()? })?;
             out.scheduled.push(ev);
         }
         "link-flap" => out.flaps.push(LinkFlap {
@@ -550,6 +640,63 @@ mod tests {
     }
 
     #[test]
+    fn parse_round_trips_silent_kinds() {
+        let spec = FaultSpec::parse(
+            "silent-link-slow@2s:pcie=0,factor=0.4; \
+             silent-link-restore@8s:pcie=0; \
+             silent-gpu-slow@2s:gpu=1,factor=3; \
+             silent-gpu-restore@8s:gpu=1; \
+             stuck-flow@3s:uplink=0,stall=500ms; \
+             corrupt-transfer@4s:nvlink=0-1",
+            7,
+        )
+        .expect("silent spec parses");
+        assert_eq!(spec.scheduled.len(), 6);
+        assert!(spec.flaps.is_empty() && spec.crashes.is_empty());
+        assert_eq!(
+            spec.scheduled[0].kind,
+            FaultKind::SilentLinkSlow {
+                link: LinkRef::PcieGpu(0),
+                factor: 0.4
+            }
+        );
+        assert_eq!(
+            spec.scheduled[1].kind,
+            FaultKind::SilentLinkRestore {
+                link: LinkRef::PcieGpu(0)
+            }
+        );
+        assert_eq!(
+            spec.scheduled[2].kind,
+            FaultKind::SilentGpuSlow {
+                gpu: 1,
+                factor: 3.0
+            }
+        );
+        assert_eq!(
+            spec.scheduled[3].kind,
+            FaultKind::SilentGpuRestore { gpu: 1 }
+        );
+        assert_eq!(
+            spec.scheduled[4].kind,
+            FaultKind::StuckFlow {
+                link: LinkRef::Uplink(0),
+                stall: SimDur::from_millis(500)
+            }
+        );
+        assert_eq!(
+            spec.scheduled[5].kind,
+            FaultKind::CorruptTransfer {
+                link: LinkRef::NvLink(0, 1)
+            }
+        );
+        // Materialization keeps silent faults verbatim and sorted.
+        let tl = spec.materialize(secs(60.0));
+        assert_eq!(tl.len(), 6);
+        assert!(tl.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
     fn parse_rejects_malformed_entries() {
         for bad in [
             "gpu-fail:gpu=1",                      // missing @time
@@ -560,6 +707,11 @@ mod tests {
             "gpu-fail@2s:gpu=banana",              // bad integer
             "slowdown@1s:factor=-2",               // non-positive factor
             "link-degrade@1s:nvlink=0,factor=0.5", // nvlink wants A-B
+            "silent-link-slow@1s:pcie=0",          // missing factor
+            "silent-link-slow:pcie=0,factor=0.4",  // missing @time
+            "stuck-flow@1s:pcie=0",                // missing stall
+            "silent-gpu-slow@1s:factor=2",         // missing gpu
+            "corrupt-transfer@1s",                 // missing link
         ] {
             assert!(FaultSpec::parse(bad, 0).is_err(), "accepted '{bad}'");
         }

@@ -39,6 +39,9 @@ struct Flow {
     remaining: f64,
     path: Vec<LinkId>,
     rate: f64,
+    /// A stalled flow makes no progress and occupies no capacity until
+    /// unfrozen (gray-failure injection: a transfer that stops moving).
+    stalled: bool,
 }
 
 /// The fluid-flow network.
@@ -188,9 +191,44 @@ impl FlowNet {
             remaining: bytes,
             path,
             rate: 0.0,
+            stalled: false,
         });
         self.recompute_rates();
         id
+    }
+
+    /// Freezes an in-flight flow: it stops making progress and releases
+    /// its bandwidth share to other flows. Returns `false` when the flow
+    /// is unknown, already complete, or already frozen.
+    ///
+    /// The caller must have called [`FlowNet::advance`] to the current
+    /// time first.
+    pub fn freeze_flow(&mut self, id: FlowId) -> bool {
+        match self.flows.iter_mut().find(|f| f.id == id) {
+            Some(f) if !f.stalled => {
+                f.stalled = true;
+                self.recompute_rates();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Unfreezes a flow previously frozen with [`FlowNet::freeze_flow`],
+    /// re-admitting it to the max-min-fair allocation. Returns `false`
+    /// when the flow is unknown, complete, or not frozen.
+    ///
+    /// The caller must have called [`FlowNet::advance`] to the current
+    /// time first.
+    pub fn unfreeze_flow(&mut self, id: FlowId) -> bool {
+        match self.flows.iter_mut().find(|f| f.id == id) {
+            Some(f) if f.stalled => {
+                f.stalled = false;
+                self.recompute_rates();
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Number of in-flight (incomplete) flows.
@@ -275,16 +313,21 @@ impl FlowNet {
         }
         let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
         let mut unfrozen_per_link: Vec<usize> = vec![0; self.links.len()];
-        let mut frozen = vec![false; n];
+        // Stalled flows start (and stay) frozen at rate 0 and do not
+        // count toward any link's fair share.
+        let mut frozen: Vec<bool> = self.flows.iter().map(|f| f.stalled).collect();
         for f in &mut self.flows {
             f.rate = 0.0;
         }
         for f in &self.flows {
+            if f.stalled {
+                continue;
+            }
             for l in &f.path {
                 unfrozen_per_link[l.0] += 1;
             }
         }
-        let mut remaining_flows = n;
+        let mut remaining_flows = n - frozen.iter().filter(|&&b| b).count();
         while remaining_flows > 0 {
             // The bottleneck link is the one offering the smallest fair
             // share to its unfrozen flows.
@@ -433,6 +476,38 @@ mod tests {
         net.set_link_capacity(l, 20.0);
         let done = net.next_completion_time(t(2.0)).unwrap();
         assert!((done.as_secs_f64() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn frozen_flow_stalls_and_releases_its_share() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let a = net.add_flow(100.0, vec![l]);
+        let b = net.add_flow(100.0, vec![l]);
+        assert_eq!(net.flow_rate(a), Some(5.0));
+        assert!(net.freeze_flow(a));
+        assert!(!net.freeze_flow(a), "double freeze is a no-op");
+        // The stalled flow moves nothing; the other takes the full link.
+        assert_eq!(net.flow_rate(a), Some(0.0));
+        assert_eq!(net.flow_rate(b), Some(10.0));
+        net.advance(t(10.0));
+        assert!((net.flow_remaining(a).unwrap() - 100.0).abs() < 1e-9);
+        // No completion can be scheduled off a stalled-only network.
+        assert_eq!(net.take_completed(), vec![b]);
+        assert_eq!(net.next_completion_time(t(10.0)), None);
+        assert!(net.unfreeze_flow(a));
+        assert_eq!(net.flow_rate(a), Some(10.0));
+        let done = net.next_completion_time(t(10.0)).unwrap();
+        assert!((done.as_secs_f64() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unfreeze_of_unknown_flow_is_a_no_op() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(10.0);
+        let a = net.add_flow(10.0, vec![l]);
+        assert!(!net.unfreeze_flow(a), "flow was never frozen");
+        assert!(!net.freeze_flow(FlowId(999)));
     }
 
     #[test]

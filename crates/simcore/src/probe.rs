@@ -87,6 +87,60 @@ impl ShedCause {
     }
 }
 
+/// Which gray (silent) failure an injector applied. Ground truth for
+/// experiments; detectors never consume these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SilentFaultKind {
+    /// A link silently runs below its believed capacity.
+    LinkSlow,
+    /// A silently slowed link returned to spec.
+    LinkRestore,
+    /// A GPU silently stretches every kernel's execution time.
+    GpuSlow,
+    /// A silently slowed GPU returned to spec.
+    GpuRestore,
+    /// The next transfer over a link wedges without progress.
+    StuckFlow,
+    /// The next weight stream over a link arrives corrupted.
+    CorruptTransfer,
+}
+
+impl SilentFaultKind {
+    /// Stable lowercase label used by both exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SilentFaultKind::LinkSlow => "link-slow",
+            SilentFaultKind::LinkRestore => "link-restore",
+            SilentFaultKind::GpuSlow => "gpu-slow",
+            SilentFaultKind::GpuRestore => "gpu-restore",
+            SilentFaultKind::StuckFlow => "stuck-flow",
+            SilentFaultKind::CorruptTransfer => "corrupt-transfer",
+        }
+    }
+}
+
+/// Inferred health of a link or GPU as judged by a failure detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectState {
+    /// Behaving within its statistical baseline.
+    Healthy,
+    /// Suspicion crossed the threshold: isolated and planned around.
+    Quarantined,
+    /// Serving canary traffic to earn reinstatement.
+    Probation,
+}
+
+impl DetectState {
+    /// Stable lowercase label used by both exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DetectState::Healthy => "healthy",
+            DetectState::Quarantined => "quarantined",
+            DetectState::Probation => "probation",
+        }
+    }
+}
+
 /// One observation published on the event bus. All payloads are `Copy`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ProbeEvent {
@@ -335,6 +389,71 @@ pub enum ProbeEvent {
         kind: usize,
         /// GPU whose resident instances now match the active plan.
         gpu: usize,
+    },
+    /// Ground-truth marker: a silent (gray) fault changed behavior
+    /// without any health transition. Only the injector knows; detectors
+    /// must infer it from observations. Experiments use this to score
+    /// detection latency and false positives.
+    SilentFaultInjected {
+        /// Which gray failure was applied.
+        kind: SilentFaultKind,
+        /// Link index or GPU index, depending on `kind`.
+        target: usize,
+    },
+    /// The failure detector moved a link between inferred health states.
+    LinkInferred {
+        /// Link index in the flow network.
+        link: usize,
+        /// New inferred state.
+        state: DetectState,
+        /// Suspicion score at the transition, in milli-units.
+        score_milli: u64,
+    },
+    /// The failure detector moved a GPU between inferred health states.
+    GpuInferred {
+        /// GPU index.
+        gpu: usize,
+        /// New inferred state.
+        state: DetectState,
+        /// Suspicion score at the transition, in milli-units.
+        score_milli: u64,
+    },
+    /// A canary transfer probing a link on probation was launched.
+    CanarySent {
+        /// Link under test.
+        link: usize,
+        /// Canary payload size.
+        bytes: u64,
+    },
+    /// A verified weight stream arrived with a checksum mismatch.
+    ChecksumMismatch {
+        /// Run slot.
+        run: usize,
+        /// First layer of the corrupted block.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Plan partition slot performing the load.
+        slot: usize,
+    },
+    /// A corrupted weight block is being fetched again after a
+    /// checksum mismatch.
+    LoadRefetched {
+        /// Run slot.
+        run: usize,
+        /// First layer of the refetched block.
+        layer: usize,
+        /// Destination GPU.
+        gpu: usize,
+        /// Plan partition slot.
+        slot: usize,
+    },
+    /// A hedged duplicate transfer was launched beside a slow primary.
+    FlowHedged {
+        /// Flow id of the original transfer.
+        primary: u64,
+        /// Flow id of the duplicate now racing it.
+        hedge: u64,
     },
 }
 
@@ -631,6 +750,55 @@ fn jsonl_line(out: &mut String, e: &Event) {
         ProbeEvent::PlanMigrationFinished { kind, gpu } => write!(
             out,
             r#"{{"at":{at},"ev":"plan_migration_finished","kind":{kind},"gpu":{gpu}}}"#
+        ),
+        ProbeEvent::SilentFaultInjected { kind, target } => write!(
+            out,
+            r#"{{"at":{at},"ev":"silent_fault_injected","kind":"{}","target":{target}}}"#,
+            kind.as_str()
+        ),
+        ProbeEvent::LinkInferred {
+            link,
+            state,
+            score_milli,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"link_inferred","link":{link},"state":"{}","score_milli":{score_milli}}}"#,
+            state.as_str()
+        ),
+        ProbeEvent::GpuInferred {
+            gpu,
+            state,
+            score_milli,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"gpu_inferred","gpu":{gpu},"state":"{}","score_milli":{score_milli}}}"#,
+            state.as_str()
+        ),
+        ProbeEvent::CanarySent { link, bytes } => write!(
+            out,
+            r#"{{"at":{at},"ev":"canary_sent","link":{link},"bytes":{bytes}}}"#
+        ),
+        ProbeEvent::ChecksumMismatch {
+            run,
+            layer,
+            gpu,
+            slot,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"checksum_mismatch","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+        ),
+        ProbeEvent::LoadRefetched {
+            run,
+            layer,
+            gpu,
+            slot,
+        } => write!(
+            out,
+            r#"{{"at":{at},"ev":"load_refetched","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+        ),
+        ProbeEvent::FlowHedged { primary, hedge } => write!(
+            out,
+            r#"{{"at":{at},"ev":"flow_hedged","primary":{primary},"hedge":{hedge}}}"#
         ),
     }
     .expect("writing to String cannot fail");
@@ -1006,6 +1174,70 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     r#"{{"name":"plan migration","cat":"recovery","ph":"e","id":{kind},"ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"kind":{kind},"gpu":{gpu}}}}}"#
                 ));
             }
+            ProbeEvent::SilentFaultInjected { kind, target } => {
+                body.push(format!(
+                    r#"{{"name":"SILENT {}","cat":"fault","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"kind":"{}","target":{target}}}}}"#,
+                    kind.as_str(),
+                    kind.as_str()
+                ));
+            }
+            ProbeEvent::LinkInferred {
+                link,
+                state,
+                score_milli,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"link {} {}","cat":"detect","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"link":{link},"state":"{}","score_milli":{score_milli}}}}}"#,
+                    link,
+                    state.as_str(),
+                    state.as_str()
+                ));
+            }
+            ProbeEvent::GpuInferred {
+                gpu,
+                state,
+                score_milli,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"gpu {} {}","cat":"detect","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"gpu":{gpu},"state":"{}","score_milli":{score_milli}}}}}"#,
+                    gpu,
+                    state.as_str(),
+                    state.as_str()
+                ));
+            }
+            ProbeEvent::CanarySent { link, bytes } => {
+                body.push(format!(
+                    r#"{{"name":"canary","cat":"detect","ph":"i","s":"p","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"link":{link},"mib":{:?}}}}}"#,
+                    bytes as f64 / (1u64 << 20) as f64
+                ));
+            }
+            ProbeEvent::ChecksumMismatch {
+                run,
+                layer,
+                gpu,
+                slot,
+            } => {
+                let tid = TID_LOAD_BASE + gpu as u64;
+                body.push(format!(
+                    r#"{{"name":"checksum mismatch","cat":"detect","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}}}"#
+                ));
+            }
+            ProbeEvent::LoadRefetched {
+                run,
+                layer,
+                gpu,
+                slot,
+            } => {
+                let tid = TID_LOAD_BASE + gpu as u64;
+                body.push(format!(
+                    r#"{{"name":"refetch","cat":"detect","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}}}"#
+                ));
+            }
+            ProbeEvent::FlowHedged { primary, hedge } => {
+                body.push(format!(
+                    r#"{{"name":"hedge","cat":"detect","ph":"i","s":"p","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"primary":{primary},"hedge":{hedge}}}}}"#
+                ));
+            }
         }
     }
 
@@ -1338,6 +1570,100 @@ mod tests {
         assert!(evs
             .iter()
             .any(|e| e["name"] == "shed" && e["args"]["cause"] == "slo-reject"));
+    }
+
+    #[test]
+    fn detection_events_export_in_both_formats() {
+        let events = vec![
+            Event {
+                at: t(1),
+                what: ProbeEvent::SilentFaultInjected {
+                    kind: SilentFaultKind::LinkSlow,
+                    target: 4,
+                },
+            },
+            Event {
+                at: t(2),
+                what: ProbeEvent::LinkInferred {
+                    link: 4,
+                    state: DetectState::Quarantined,
+                    score_milli: 12_345,
+                },
+            },
+            Event {
+                at: t(3),
+                what: ProbeEvent::GpuInferred {
+                    gpu: 2,
+                    state: DetectState::Probation,
+                    score_milli: 0,
+                },
+            },
+            Event {
+                at: t(4),
+                what: ProbeEvent::CanarySent {
+                    link: 4,
+                    bytes: 32 << 20,
+                },
+            },
+            Event {
+                at: t(5),
+                what: ProbeEvent::ChecksumMismatch {
+                    run: 7,
+                    layer: 3,
+                    gpu: 1,
+                    slot: 0,
+                },
+            },
+            Event {
+                at: t(6),
+                what: ProbeEvent::LoadRefetched {
+                    run: 7,
+                    layer: 3,
+                    gpu: 1,
+                    slot: 0,
+                },
+            },
+            Event {
+                at: t(7),
+                what: ProbeEvent::FlowHedged {
+                    primary: 42,
+                    hedge: 43,
+                },
+            },
+            Event {
+                at: t(8),
+                what: ProbeEvent::LinkInferred {
+                    link: 4,
+                    state: DetectState::Healthy,
+                    score_milli: 0,
+                },
+            },
+        ];
+        let out = to_jsonl(&events);
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("line parses");
+            assert!(v["ev"].as_str().is_some());
+        }
+        assert!(out.contains(r#""ev":"silent_fault_injected","kind":"link-slow","target":4"#));
+        assert!(out.contains(r#""ev":"link_inferred","link":4,"state":"quarantined""#));
+        assert!(out.contains(r#""ev":"gpu_inferred","gpu":2,"state":"probation""#));
+        assert!(out.contains(r#""ev":"canary_sent","link":4"#));
+        assert!(out.contains(r#""ev":"checksum_mismatch","run":7"#));
+        assert!(out.contains(r#""ev":"load_refetched","run":7"#));
+        assert!(out.contains(r#""ev":"flow_hedged","primary":42,"hedge":43"#));
+        assert!(out.contains(r#""state":"healthy""#));
+        let doc = to_perfetto(&events, &PerfettoOptions::default());
+        let v: serde_json::Value = serde_json::from_str(&doc).expect("document parses");
+        let evs = v["traceEvents"].as_array().unwrap();
+        assert!(evs.iter().any(|e| e["name"] == "SILENT link-slow"));
+        assert!(evs
+            .iter()
+            .any(|e| e["name"] == "link 4 quarantined" && e["args"]["score_milli"] == 12_345));
+        assert!(evs.iter().any(|e| e["name"] == "gpu 2 probation"));
+        assert!(evs.iter().any(|e| e["name"] == "canary"));
+        assert!(evs.iter().any(|e| e["name"] == "checksum mismatch"));
+        assert!(evs.iter().any(|e| e["name"] == "refetch"));
+        assert!(evs.iter().any(|e| e["name"] == "hedge"));
     }
 
     #[test]

@@ -96,6 +96,7 @@ pub struct Sim<S> {
     heap: BinaryHeap<Reverse<Entry>>,
     handlers: Vec<Option<EventFn<S>>>,
     free: Vec<usize>,
+    executed: u64,
     state: S,
 }
 
@@ -108,6 +109,7 @@ impl<S> Sim<S> {
             heap: BinaryHeap::new(),
             handlers: Vec::new(),
             free: Vec::new(),
+            executed: 0,
             state,
         }
     }
@@ -190,6 +192,11 @@ impl<S> Sim<S> {
         self.heap.len()
     }
 
+    /// Total events executed since construction (perf-harness metric).
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
     fn step(&mut self) -> bool {
         let Some(Reverse(entry)) = self.heap.pop() else {
             return false;
@@ -198,6 +205,7 @@ impl<S> Sim<S> {
             .take()
             .expect("handler fired twice");
         self.free.push(entry.slot);
+        self.executed += 1;
         self.now = entry.at;
         let mut ctx = Ctx::new(self.now);
         f(&mut self.state, &mut ctx);

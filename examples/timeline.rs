@@ -33,6 +33,8 @@ fn main() {
             bulk_migrate: false,
             distributed: false,
             exec_scale: 1.0,
+            verify_loads: false,
+            hedge: None,
         };
         let (res, trace) = run_traced(machine.clone(), spec);
         println!(

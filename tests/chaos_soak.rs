@@ -22,11 +22,28 @@ const CHAOS: &str = "gpu-crash:gpu=1,mtbf=2s,mttr=400ms; \
                      slowdown@3s:factor=2; slowdown-end@6s; \
                      mem-pressure@8s:bytes=235g; mem-release@10s";
 
+/// The announced chaos plus a layer of *silent* faults the oracle never
+/// reports: a gray PCIe slowdown, a stuck flow and a corrupt transfer.
+const CHAOS_SILENT: &str = "gpu-crash:gpu=1,mtbf=2s,mttr=400ms; \
+                            gpu-crash:gpu=3,mtbf=3s,mttr=600ms; \
+                            link-flap:pcie=0,up=700ms,down=150ms,factor=0.2; \
+                            slowdown@3s:factor=2; slowdown-end@6s; \
+                            mem-pressure@8s:bytes=235g; mem-release@10s; \
+                            silent-link-slow@4s:pcie=1,factor=0.5; \
+                            silent-link-restore@7s:pcie=1; \
+                            stuck-flow@5s:pcie=1,stall=300ms; \
+                            corrupt-transfer@5500ms:pcie=1";
+
 fn soak(recovery: bool) -> (ServingReport, Vec<Event>) {
+    soak_spec(CHAOS, recovery, false)
+}
+
+fn soak_spec(spec: &str, recovery: bool, detection: bool) -> (ServingReport, Vec<Event>) {
     let machine = p3_8xlarge();
     let mode = PlanMode::PtDha;
     let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
     cfg.recovery.enabled = recovery;
+    cfg.detection.enabled = detection;
     cfg.admission.queue_cap = Some(64);
     let kinds = vec![DeployedModel::prepare(
         &build(ModelId::BertBase),
@@ -36,7 +53,7 @@ fn soak(recovery: bool) -> (ServingReport, Vec<Event>) {
     )];
     let instance_kinds = vec![0usize; 80];
     let trace = poisson::generate(120.0, 80, REQUESTS, SimTime::ZERO, 0xC4A05);
-    let faults = FaultSpec::parse(CHAOS, 0xC4A05).expect("valid chaos spec");
+    let faults = FaultSpec::parse(spec, 0xC4A05).expect("valid chaos spec");
     let (probe, log) = Probe::logging();
     let report = run_server_faulted(
         cfg,
@@ -97,5 +114,33 @@ fn chaos_soak_with_recovery_loses_nothing_and_replays_identically() {
     assert_nothing_silently_lost(&report, &events);
     assert!(report.replans > 0, "chaos never triggered a re-plan");
     let (_, events2) = soak(true);
+    assert_eq!(to_jsonl(&events), to_jsonl(&events2));
+}
+
+#[test]
+fn chaos_soak_with_silent_faults_and_detection_loses_nothing() {
+    let (report, events) = soak_spec(CHAOS_SILENT, true, true);
+    assert_nothing_silently_lost(&report, &events);
+    assert!(report.replans > 0, "chaos never triggered a re-plan");
+    let (_, events2) = soak_spec(CHAOS_SILENT, true, true);
+    assert_eq!(
+        to_jsonl(&events),
+        to_jsonl(&events2),
+        "silent faults plus detection must replay byte-identically"
+    );
+}
+
+#[test]
+fn silent_chaos_with_detection_disabled_is_inert_and_deterministic() {
+    // Detection off: the silent faults still bend the physics, but
+    // nothing watches — no quarantine, no canary, no hedge, no refetch
+    // — and the run still loses nothing and replays identically.
+    let (report, events) = soak_spec(CHAOS_SILENT, true, false);
+    assert_nothing_silently_lost(&report, &events);
+    assert_eq!(report.quarantines, 0);
+    assert_eq!(report.canaries, 0);
+    assert_eq!(report.hedged_transfers, 0);
+    assert_eq!(report.checksum_refetches, 0);
+    let (_, events2) = soak_spec(CHAOS_SILENT, true, false);
     assert_eq!(to_jsonl(&events), to_jsonl(&events2));
 }

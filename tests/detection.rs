@@ -1,0 +1,190 @@
+//! Gray-failure detection integration tests: the detector must catch
+//! silent faults using nothing but observable timings, feed the same
+//! recovery plane an announced fault would, never cry wolf on a healthy
+//! cluster, and vanish without a trace when disabled.
+
+use dnn_models::zoo::{build, ModelId};
+use exec_planner::generate::PlanMode;
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::{poisson, run_server_faulted, DeployedModel, ServerConfig, ServingReport};
+use simcore::fault::FaultSpec;
+use simcore::probe::{to_jsonl, DetectState, Event, Probe, ProbeEvent};
+use simcore::time::SimTime;
+
+/// Oversubscribed BERT fleet: the model cache holds ~145 instances, so
+/// 200 keep cold-starting and the host links stay observable all run.
+fn run_detect(
+    spec: &str,
+    detection: bool,
+    hedge: bool,
+    n: usize,
+    seed: u64,
+) -> (ServingReport, Vec<Event>) {
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PtDha;
+    let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+    cfg.recovery.enabled = true;
+    cfg.detection.enabled = detection;
+    cfg.detection.hedge = hedge;
+    let kinds = vec![DeployedModel::prepare(
+        &build(ModelId::BertBase),
+        &machine,
+        mode,
+        cfg.max_pt_gpus,
+    )];
+    let concurrency = 200;
+    let instance_kinds = vec![0usize; concurrency];
+    let trace = poisson::generate(150.0, concurrency, n, SimTime::ZERO, seed);
+    let faults = if spec.is_empty() {
+        FaultSpec::none()
+    } else {
+        FaultSpec::parse(spec, seed).expect("valid fault spec")
+    };
+    let (probe, log) = Probe::logging();
+    let report = run_server_faulted(
+        cfg,
+        kinds,
+        &instance_kinds,
+        trace,
+        SimTime::ZERO,
+        probe,
+        &faults,
+    );
+    let events = log.borrow().events.clone();
+    (report, events)
+}
+
+fn count<F: Fn(&ProbeEvent) -> bool>(events: &[Event], f: F) -> usize {
+    events.iter().filter(|e| f(&e.what)).count()
+}
+
+#[test]
+fn fault_free_runs_never_quarantine_across_32_seeds() {
+    for seed in 0..32u64 {
+        let (r, _) = run_detect("", true, true, 250, seed);
+        assert_eq!(
+            r.quarantines, 0,
+            "seed {seed}: false quarantine on a healthy cluster"
+        );
+        assert_eq!(r.canaries, 0, "seed {seed}: canary without quarantine");
+        assert_eq!(r.completed + r.shed, 250, "seed {seed}: lost requests");
+    }
+}
+
+#[test]
+fn silent_link_slow_is_quarantined_and_replanned_without_oracle_events() {
+    let n = 800;
+    let (r, events) = run_detect(
+        "silent-link-slow@2s:pcie=0,factor=0.4; silent-link-restore@6s:pcie=0",
+        true,
+        true,
+        n,
+        0xDE7EC7,
+    );
+    assert!(r.quarantines >= 1, "silent slowdown must be quarantined");
+    assert!(r.replans >= 1, "inferred health must drive a re-plan");
+    assert_eq!(r.completed + r.shed, n as u64);
+    // The fault was silent: the health oracle never spoke. Every
+    // reaction must trace back to inference.
+    assert_eq!(r.gpu_failures, 0);
+    assert_eq!(
+        count(&events, |e| matches!(e, ProbeEvent::LinkCapacity { .. })),
+        0,
+        "no announced health event may exist for a silent fault"
+    );
+    assert!(
+        count(&events, |e| matches!(
+            e,
+            ProbeEvent::LinkInferred {
+                state: DetectState::Quarantined,
+                ..
+            }
+        )) >= 1,
+        "quarantine must be visible in the probe stream"
+    );
+    assert!(
+        count(&events, |e| matches!(e, ProbeEvent::CanarySent { .. })) >= 1,
+        "probation must probe with canaries"
+    );
+}
+
+#[test]
+fn silent_gpu_slowdown_is_inferred_from_exec_timings() {
+    let (r, events) = run_detect(
+        "silent-gpu-slow@2s:gpu=0,factor=3; silent-gpu-restore@6s:gpu=0",
+        true,
+        true,
+        800,
+        0x6B0,
+    );
+    assert!(
+        count(&events, |e| matches!(
+            e,
+            ProbeEvent::GpuInferred {
+                gpu: 0,
+                state: DetectState::Quarantined,
+                ..
+            }
+        )) >= 1,
+        "a 3x silent compute slowdown must quarantine the GPU"
+    );
+    assert!(r.quarantines >= 1);
+    assert_eq!(r.gpu_failures, 0, "the oracle never saw a failure");
+}
+
+#[test]
+fn hedged_transfers_rescue_stuck_flows() {
+    let spec = "stuck-flow@2s:pcie=0,stall=800ms; stuck-flow@3s:pcie=0,stall=800ms";
+    let (off, _) = run_detect(spec, true, false, 600, 7);
+    let (on, _) = run_detect(spec, true, true, 600, 7);
+    assert_eq!(off.hedged_transfers, 0, "hedge disabled must never hedge");
+    assert!(on.hedged_transfers > 0, "stuck flows must trigger hedges");
+    assert!(
+        on.p99_ms() <= off.p99_ms(),
+        "hedging must not make the tail worse: {:.1} vs {:.1} ms",
+        on.p99_ms(),
+        off.p99_ms()
+    );
+}
+
+#[test]
+fn checksum_verification_refetches_corrupt_blocks() {
+    let spec = "corrupt-transfer@2s:pcie=0; corrupt-transfer@3s:pcie=0";
+    let (with, events) = run_detect(spec, true, true, 600, 7);
+    assert!(with.checksum_refetches > 0, "corruption must be re-fetched");
+    assert_eq!(
+        count(&events, |e| matches!(
+            e,
+            ProbeEvent::ChecksumMismatch { .. }
+        )) as u64,
+        with.checksum_refetches,
+        "every refetch pairs with a visible mismatch"
+    );
+    assert_eq!(with.completed + with.shed, 600);
+    // Detection off: the corruption delivers silently (only the
+    // injection marker betrays it) and nothing re-fetches.
+    let (without, ev2) = run_detect(spec, false, false, 600, 7);
+    assert_eq!(without.checksum_refetches, 0);
+    assert_eq!(
+        count(&ev2, |e| matches!(e, ProbeEvent::ChecksumMismatch { .. })),
+        0
+    );
+    assert_eq!(without.completed + without.shed, 600);
+}
+
+#[test]
+fn detection_on_a_healthy_cluster_is_observably_inert() {
+    // Same workload, detection off vs on, no faults: the detector may
+    // watch, learn baselines and arm watchdogs, but with nothing to
+    // find the two runs must be event-for-event identical.
+    let (off_r, off_ev) = run_detect("", false, false, 500, 42);
+    let (on_r, on_ev) = run_detect("", true, true, 500, 42);
+    assert_eq!(
+        to_jsonl(&off_ev),
+        to_jsonl(&on_ev),
+        "armed-but-idle detection must not change observable behavior"
+    );
+    assert_eq!(off_r.completed, on_r.completed);
+    assert_eq!(on_r.hedged_transfers, 0);
+    assert_eq!(on_r.checksum_refetches, 0);
+}

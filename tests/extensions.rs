@@ -69,6 +69,8 @@ fn chrome_trace_of_a_pt_run_is_valid_json_with_all_lanes() {
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     let (_, trace) = run_traced(machine, spec);
     let json = to_chrome_trace(&trace);

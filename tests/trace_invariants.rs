@@ -21,6 +21,8 @@ fn traced(mode: PlanMode) -> (exec_engine::InferenceResult, exec_engine::Trace) 
         bulk_migrate: false,
         distributed: false,
         exec_scale: 1.0,
+        verify_loads: false,
+        hedge: None,
     };
     run_traced(machine, spec)
 }
