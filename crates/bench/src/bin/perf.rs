@@ -7,7 +7,11 @@
 //! over 300 mixed BERT/RoBERTa/GPT-2 instances under PT+DHA, seed and
 //! all — so the JSON is comparable commit-to-commit: `sim_events` must
 //! stay bit-identical (the simulation is deterministic) while
-//! `events_per_sec` tracks engine speed. Run it on a quiet machine:
+//! `events_per_sec` tracks engine speed. The same workload runs twice,
+//! probe-disabled and probe-enabled, so the cost of observability is a
+//! tracked number (`events_per_sec_probed` / `probe_overhead_pct`)
+//! guarding the "zero-cost when disabled" claim. Run it on a quiet
+//! machine:
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf
@@ -19,7 +23,7 @@ use deepplan::PlanMode;
 use simcore::time::SimDur;
 
 use bench::experiments::fig15;
-use bench::experiments::serving::run_mix;
+use bench::experiments::serving::{run_mix, run_mix_probed};
 
 const HORIZON_SECS: u64 = 180;
 const RATE: f64 = 150.0;
@@ -29,20 +33,43 @@ fn main() {
     let horizon = SimDur::from_secs(HORIZON_SECS);
     let (kinds, instance_kinds) = fig15::mix(INSTANCES);
     let trace = fig15::trace(INSTANCES, horizon, RATE);
+
     let wall = Instant::now();
-    let report = run_mix(PlanMode::PtDha, &kinds, instance_kinds, trace);
+    let report = run_mix(
+        PlanMode::PtDha,
+        &kinds,
+        instance_kinds.clone(),
+        trace.clone(),
+    );
     let wall_secs = wall.elapsed().as_secs_f64();
     let events_per_sec = report.sim_events as f64 / wall_secs.max(1e-9);
     let sim_wall_ratio = HORIZON_SECS as f64 / wall_secs.max(1e-9);
+
+    let wall_probed = Instant::now();
+    let (report_probed, probe_log) = run_mix_probed(PlanMode::PtDha, &kinds, instance_kinds, trace);
+    let wall_secs_probed = wall_probed.elapsed().as_secs_f64();
+    let events_per_sec_probed = report_probed.sim_events as f64 / wall_secs_probed.max(1e-9);
+    assert_eq!(
+        report.sim_events, report_probed.sim_events,
+        "probe must not perturb the simulation"
+    );
+    let probe_overhead_pct = (wall_secs_probed / wall_secs.max(1e-9) - 1.0) * 100.0;
+
     let json = format!(
         "{{\n  \"workload\": \"fig15-maf {RATE} rps x {HORIZON_SECS} s, {INSTANCES} instances, pt+dha\",\n  \
            \"sim_events\": {},\n  \
            \"wall_secs\": {wall_secs:.3},\n  \
            \"events_per_sec\": {events_per_sec:.0},\n  \
+           \"wall_secs_probed\": {wall_secs_probed:.3},\n  \
+           \"events_per_sec_probed\": {events_per_sec_probed:.0},\n  \
+           \"probe_overhead_pct\": {probe_overhead_pct:.1},\n  \
+           \"probe_events\": {},\n  \
            \"sim_secs\": {HORIZON_SECS},\n  \
            \"sim_wall_ratio\": {sim_wall_ratio:.1},\n  \
            \"completed\": {}\n}}\n",
-        report.sim_events, report.completed
+        report.sim_events,
+        probe_log.len(),
+        report.completed
     );
     println!("{json}");
     if let Err(e) = std::fs::write("BENCH_simcore_events.json", &json) {

@@ -1,6 +1,7 @@
 //! One module per paper table/figure, plus repo-specific ablations.
 
 pub mod ablations;
+pub mod attribution;
 pub mod detection;
 pub mod faults;
 pub mod fig02;

@@ -112,3 +112,23 @@ pub fn run_mix(
         .collect();
     run_server(cfg, deployed, &instance_kinds, trace, SimTime::ZERO)
 }
+
+/// [`run_mix`] with a recording probe; returns the report plus the raw
+/// event log for attribution analysis and exporter benchmarking.
+pub fn run_mix_probed(
+    mode: PlanMode,
+    kinds: &[ModelId],
+    instance_kinds: Vec<usize>,
+    trace: Vec<Request>,
+) -> (ServingReport, Vec<simcore::probe::Event>) {
+    let machine = p3_8xlarge();
+    let cfg = ServerConfig::paper_default(machine.clone(), mode);
+    let deployed: Vec<DeployedModel> = kinds
+        .iter()
+        .map(|&id| DeployedModel::prepare(&build(id), &machine, mode, cfg.max_pt_gpus))
+        .collect();
+    let (probe, log) = Probe::logging();
+    let report = run_server_probed(cfg, deployed, &instance_kinds, trace, SimTime::ZERO, probe);
+    let events = log.borrow().events.clone();
+    (report, events)
+}

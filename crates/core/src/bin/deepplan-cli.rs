@@ -9,7 +9,8 @@
 //! deepplan-cli serve bert-base [--mode pt+dha] [--concurrency N] [--requests N]
 //!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
 //!     [--faults SPEC] [--deadline-ms N] [--recovery] [--detection]
-//!     [--queue-cap N]
+//!     [--queue-cap N] [--metrics-out metrics.prom] [--metrics-json series.json]
+//! deepplan-cli analyze events.jsonl
 //! ```
 //!
 //! `--faults` takes the fault DSL (see `simcore::fault::FaultSpec::parse`),
@@ -28,6 +29,17 @@
 //! it with `--recovery` and a *silent* fault spec (e.g.
 //! `--faults 'silent-link-slow@2s:pcie=0,factor=0.4'`) to watch the
 //! server re-plan around a fault no health oracle ever announced.
+//!
+//! `--metrics-out` streams probe events through the metric registry
+//! during the run and writes a Prometheus-style text snapshot;
+//! `--metrics-json` writes the windowed JSON time series (per-model
+//! p50/p99, completion counters, SLO burn rate). Both arm the
+//! multi-window SLO burn-rate monitors, whose alerts land in the event
+//! log as `slo_burn_alert` events.
+//!
+//! `analyze` reconstructs each request's critical path from a JSONL
+//! event trace (`--events-out`) and prints the exact per-request
+//! latency decomposition plus a p50/p99 blame table per GPU × cause.
 
 use deepplan::excerpt::{excerpt, format_excerpt};
 use deepplan::{DeepPlan, ModelId, PlanMode};
@@ -35,9 +47,11 @@ use dnn_models::zoo::catalog;
 use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
-use model_serving::{poisson, run_server_faulted, DeployedModel, ServerConfig};
+use model_serving::{metrics_spec, poisson, run_server_faulted, DeployedModel, ServerConfig};
+use simcore::attribution::{analyze, render_analysis};
 use simcore::fault::FaultSpec;
-use simcore::probe::{to_jsonl, to_perfetto, PerfettoOptions, Probe};
+use simcore::metrics::MetricsSink;
+use simcore::probe::{parse_jsonl, to_jsonl, to_perfetto, PerfettoOptions, Probe};
 use simcore::time::{SimDur, SimTime};
 
 struct Args {
@@ -59,15 +73,21 @@ struct Args {
     recovery: bool,
     detection: bool,
     queue_cap: Option<usize>,
+    metrics_out: Option<String>,
+    metrics_json: Option<String>,
+    /// Positional input file (the `analyze` trace).
+    input: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: deepplan-cli <models|machines|profile|plan|simulate|serve> [model] \
+        "usage: deepplan-cli <models|machines|profile|plan|simulate|serve|analyze> \
+         [model | trace.jsonl] \
          [--mode baseline|pipeswitch|dha|pt|pt+dha] [--machine p3|single|a5000|dgx1] \
          [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
          [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
-         [--faults SPEC] [--deadline-ms N] [--recovery] [--detection] [--queue-cap N]"
+         [--faults SPEC] [--deadline-ms N] [--recovery] [--detection] [--queue-cap N] \
+         [--metrics-out FILE] [--metrics-json FILE]"
     );
     std::process::exit(2)
 }
@@ -110,6 +130,9 @@ fn parse() -> Args {
         recovery: false,
         detection: false,
         queue_cap: None,
+        metrics_out: None,
+        metrics_json: None,
+        input: None,
     };
     let mut it = argv.iter().skip(1).peekable();
     while let Some(a) = it.next() {
@@ -187,6 +210,12 @@ fn parse() -> Args {
                         .unwrap_or_else(|| usage()),
                 )
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(it.next().cloned().unwrap_or_else(|| usage()))
+            }
+            "--metrics-json" => {
+                args.metrics_json = Some(it.next().cloned().unwrap_or_else(|| usage()))
+            }
             "--recovery" => args.recovery = true,
             "--detection" => args.detection = true,
             "--queue-cap" => {
@@ -198,6 +227,9 @@ fn parse() -> Args {
             }
             other => match parse_model(other) {
                 Some(m) => args.model = Some(m),
+                None if args.cmd == "analyze" && args.input.is_none() => {
+                    args.input = Some(other.to_string())
+                }
                 None => {
                     eprintln!("unknown model or flag '{other}'");
                     usage()
@@ -320,7 +352,12 @@ fn main() {
                 None => FaultSpec::none(),
             };
             let model = dnn_models::zoo::build(id);
-            let kind = DeployedModel::prepare(&model, &machine, args.mode, cfg.max_pt_gpus);
+            let kinds = vec![DeployedModel::prepare(
+                &model,
+                &machine,
+                args.mode,
+                cfg.max_pt_gpus,
+            )];
             let instance_kinds = vec![0usize; args.concurrency];
             let trace = poisson::generate(
                 args.rate,
@@ -329,16 +366,21 @@ fn main() {
                 SimTime::ZERO,
                 args.seed,
             );
-            let want_probe = args.trace_out.is_some() || args.events_out.is_some();
-            let (probe, log) = if want_probe {
+            let want_metrics = args.metrics_out.is_some() || args.metrics_json.is_some();
+            let want_probe = args.trace_out.is_some() || args.events_out.is_some() || want_metrics;
+            let (probe, log, sink) = if want_metrics {
+                let spec = metrics_spec(&cfg, &kinds, &instance_kinds);
+                let (p, s) = MetricsSink::probe(spec);
+                (p, None, Some(s))
+            } else if want_probe {
                 let (p, l) = Probe::logging();
-                (p, Some(l))
+                (p, Some(l), None)
             } else {
-                (Probe::disabled(), None)
+                (Probe::disabled(), None, None)
             };
             let report = run_server_faulted(
                 cfg,
-                vec![kind],
+                kinds,
                 &instance_kinds,
                 trace,
                 SimTime::ZERO,
@@ -382,8 +424,37 @@ fn main() {
                     report.checksum_refetches
                 );
             }
-            if let Some(log) = log {
-                let events = &log.borrow().events;
+            let events: Option<Vec<simcore::probe::Event>> = if let Some(sink) = &sink {
+                sink.borrow_mut().finish();
+                Some(sink.borrow().events().to_vec())
+            } else {
+                log.map(|l| l.borrow().events.clone())
+            };
+            if let Some(sink) = &sink {
+                let sink = sink.borrow();
+                let alerts = sink
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.what, simcore::ProbeEvent::SloBurnAlert { .. }))
+                    .count();
+                println!("  metrics: {alerts} slo burn alert(s)");
+                if let Some(path) = &args.metrics_out {
+                    if let Err(e) = std::fs::write(path, sink.registry.to_prometheus()) {
+                        eprintln!("error: writing {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("  wrote metrics snapshot to {path}");
+                }
+                if let Some(path) = &args.metrics_json {
+                    if let Err(e) = std::fs::write(path, sink.to_json_series()) {
+                        eprintln!("error: writing {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("  wrote metrics time series to {path}");
+                }
+            }
+            if let Some(events) = &events {
+                let events = &events[..];
                 if let Some(path) = &args.events_out {
                     if let Err(e) = std::fs::write(path, to_jsonl(events)) {
                         eprintln!("error: writing {path}: {e}");
@@ -409,6 +480,18 @@ fn main() {
                     println!("  wrote Perfetto trace to {path}");
                 }
             }
+        }
+        "analyze" => {
+            let path = args.input.unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("error: reading {path}: {e}");
+                std::process::exit(1)
+            });
+            let events = parse_jsonl(&text).unwrap_or_else(|e| {
+                eprintln!("error: {path}: {e}");
+                std::process::exit(1)
+            });
+            print!("{}", render_analysis(&analyze(&events)));
         }
         _ => usage(),
     }

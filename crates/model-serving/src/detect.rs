@@ -32,24 +32,29 @@
 //! so a fault cannot teach the detector that slow is normal.
 
 use simcore::flow::LinkId;
+use simcore::metrics::Welford;
 use simcore::probe::DetectState;
 
 use crate::config::DetectionPolicy;
 
-/// Welford running mean/variance of healthy observation ratios.
+/// Running baseline of healthy observation ratios, built on the shared
+/// [`simcore::metrics::Welford`] accumulator.
 #[derive(Debug, Clone, Default)]
 struct Baseline {
-    n: u32,
-    mean: f64,
-    m2: f64,
+    w: Welford,
 }
 
 impl Baseline {
     fn push(&mut self, x: f64) {
-        self.n += 1;
-        let d = x - self.mean;
-        self.mean += d / f64::from(self.n);
-        self.m2 += d * (x - self.mean);
+        self.w.push(x);
+    }
+
+    fn n(&self) -> u32 {
+        self.w.count()
+    }
+
+    fn mean(&self) -> f64 {
+        self.w.mean()
     }
 
     /// Sample standard deviation, floored at 5 % of the mean so a
@@ -57,19 +62,17 @@ impl Baseline {
     /// small modelling error instead of flagging on the first µs of
     /// drift.
     fn std_floored(&self) -> f64 {
-        let std = if self.n < 2 {
-            0.0
-        } else {
-            (self.m2 / f64::from(self.n - 1)).sqrt()
-        };
-        std.max(0.05 * self.mean.abs()).max(1e-6)
+        self.w
+            .sample_std()
+            .max(0.05 * self.w.mean().abs())
+            .max(1e-6)
     }
 
     /// Suspicion of observation `x`: `-log10 P(X ≥ x)` under a Gaussian
     /// fit, approximated by the tail exponent. Negative deviations
     /// (faster than expected) are never suspicious.
     fn suspicion(&self, x: f64) -> f64 {
-        let z = (x - self.mean) / self.std_floored();
+        let z = (x - self.w.mean()) / self.std_floored();
         if z <= 0.0 {
             return 0.0;
         }
@@ -117,7 +120,7 @@ impl Track {
     /// observations of the same fault resolve to the same re-plan
     /// signature instead of churning plans on float noise.
     fn infer_factor(&self, ratio: f64) -> f64 {
-        let raw = (self.base.mean / ratio).clamp(1.0 / 16.0, 1.0);
+        let raw = (self.base.mean() / ratio).clamp(1.0 / 16.0, 1.0);
         ((raw * 16.0).round() / 16.0).max(1.0 / 16.0)
     }
 
@@ -309,7 +312,7 @@ fn observe(t: &mut Track, policy: &DetectionPolicy, ratio: f64) -> bool {
     if t.state != DetectState::Healthy || !ratio.is_finite() || ratio <= 0.0 {
         return false;
     }
-    let score = if t.base.n >= policy.min_samples {
+    let score = if t.base.n() >= policy.min_samples {
         t.base.suspicion(ratio)
     } else {
         0.0

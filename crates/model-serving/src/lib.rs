@@ -25,6 +25,6 @@ pub mod workload;
 pub use catalog::DeployedModel;
 pub use config::{AdmissionPolicy, DetectionPolicy, FaultPolicy, RecoveryPolicy, ServerConfig};
 pub use detect::Detector;
-pub use metrics::ServingReport;
+pub use metrics::{metrics_spec, ServingReport};
 pub use server::{run_server, run_server_faulted, run_server_probed};
 pub use workload::{maf, poisson, Request};

@@ -114,6 +114,26 @@ impl ServingReport {
     }
 }
 
+/// Builds a [`simcore::metrics::MetricsSpec`] describing one serving
+/// deployment: model-kind labels come from the deployed profiles, the
+/// SLO threshold from the server config, and gauge tracks span the
+/// machine's GPUs. Hand the result to
+/// [`simcore::metrics::MetricsSink::probe`] and run the server with the
+/// returned probe to collect streaming metrics and SLO burn alerts.
+pub fn metrics_spec(
+    cfg: &crate::ServerConfig,
+    kinds: &[crate::DeployedModel],
+    instance_kinds: &[usize],
+) -> simcore::metrics::MetricsSpec {
+    let mut spec = simcore::metrics::MetricsSpec::new(
+        kinds.iter().map(|k| k.profile.model.clone()).collect(),
+        instance_kinds.to_vec(),
+        cfg.machine.gpu_count(),
+    );
+    spec.slo.slo_ns = cfg.slo.as_nanos();
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,14 +17,21 @@
 //! * [`rng`] — seeded random-variate helpers (exponential, Poisson process).
 //! * [`stats`] — summary statistics, percentiles and time-series bucketing.
 //! * [`probe`] — the observability event bus ([`Probe`], [`probe::EventLog`])
-//!   with Perfetto and JSONL exporters.
+//!   with Perfetto and JSONL exporters, plus a JSONL trace parser.
+//! * [`attribution`] — per-request critical-path latency attribution
+//!   reconstructed from probe spans, with p50/p99 blame tables.
+//! * [`metrics`] — streaming metric registry (counters, gauges,
+//!   log-bucketed histograms) and multi-window SLO burn-rate monitors
+//!   fed online from probe events.
 //!
 //! All simulation state is deterministic: no wall-clock reads and no OS
 //! randomness. Identical inputs replay identical schedules bit-for-bit.
 
+pub mod attribution;
 pub mod driver;
 pub mod fault;
 pub mod flow;
+pub mod metrics;
 pub mod probe;
 pub mod rng;
 pub mod sim;

@@ -48,6 +48,16 @@ impl StallCause {
             StallCause::NvlinkMigrate => "nvlink-migrate",
         }
     }
+
+    /// Inverse of [`StallCause::as_str`], for trace readers.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "barrier" => Some(StallCause::Barrier),
+            "pcie-load" => Some(StallCause::PcieLoad),
+            "nvlink-migrate" => Some(StallCause::NvlinkMigrate),
+            _ => None,
+        }
+    }
 }
 
 /// Why the server shed (dropped) a request instead of serving it.
@@ -85,6 +95,20 @@ impl ShedCause {
             ShedCause::SloReject => "slo-reject",
         }
     }
+
+    /// Inverse of [`ShedCause::as_str`], for trace readers.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "deadline" => Some(ShedCause::Deadline),
+            "pressure" => Some(ShedCause::Pressure),
+            "no-capacity" => Some(ShedCause::NoCapacity),
+            "priority" => Some(ShedCause::Priority),
+            "retries-exhausted" => Some(ShedCause::RetriesExhausted),
+            "queue-full" => Some(ShedCause::QueueFull),
+            "slo-reject" => Some(ShedCause::SloReject),
+            _ => None,
+        }
+    }
 }
 
 /// Which gray (silent) failure an injector applied. Ground truth for
@@ -117,6 +141,19 @@ impl SilentFaultKind {
             SilentFaultKind::CorruptTransfer => "corrupt-transfer",
         }
     }
+
+    /// Inverse of [`SilentFaultKind::as_str`], for trace readers.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "link-slow" => Some(SilentFaultKind::LinkSlow),
+            "link-restore" => Some(SilentFaultKind::LinkRestore),
+            "gpu-slow" => Some(SilentFaultKind::GpuSlow),
+            "gpu-restore" => Some(SilentFaultKind::GpuRestore),
+            "stuck-flow" => Some(SilentFaultKind::StuckFlow),
+            "corrupt-transfer" => Some(SilentFaultKind::CorruptTransfer),
+            _ => None,
+        }
+    }
 }
 
 /// Inferred health of a link or GPU as judged by a failure detector.
@@ -137,6 +174,16 @@ impl DetectState {
             DetectState::Healthy => "healthy",
             DetectState::Quarantined => "quarantined",
             DetectState::Probation => "probation",
+        }
+    }
+
+    /// Inverse of [`DetectState::as_str`], for trace readers.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "healthy" => Some(DetectState::Healthy),
+            "quarantined" => Some(DetectState::Quarantined),
+            "probation" => Some(DetectState::Probation),
+            _ => None,
         }
     }
 }
@@ -455,6 +502,65 @@ pub enum ProbeEvent {
         /// Flow id of the duplicate now racing it.
         hedge: u64,
     },
+    /// A multi-window SLO burn-rate monitor fired: a model kind's error
+    /// budget is burning faster than the alert threshold over both the
+    /// short and the long window. Emitted by the streaming metrics
+    /// engine (`simcore::metrics`), never by the simulation itself.
+    SloBurnAlert {
+        /// Model kind index the monitor watches.
+        kind: usize,
+        /// Long window length in milliseconds.
+        window_ms: u64,
+        /// Burn rate over the long window in milli-units
+        /// (1000 = burning exactly the error budget).
+        burn_milli: u64,
+    },
+}
+
+impl ProbeEvent {
+    /// Stable snake_case event name — the single source of truth for
+    /// the JSONL `"ev"` field, the JSONL parser and any per-event
+    /// counters. Adding a variant without a name fails to compile, so
+    /// exporters cannot silently diverge.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProbeEvent::RequestEnqueued { .. } => "request_enqueued",
+            ProbeEvent::RequestDispatched { .. } => "request_dispatched",
+            ProbeEvent::RequestCompleted { .. } => "request_completed",
+            ProbeEvent::ExecStarted { .. } => "exec_started",
+            ProbeEvent::ExecFinished { .. } => "exec_finished",
+            ProbeEvent::LoadStarted { .. } => "load_started",
+            ProbeEvent::LoadFinished { .. } => "load_finished",
+            ProbeEvent::MigrateStarted { .. } => "migrate_started",
+            ProbeEvent::MigrateFinished { .. } => "migrate_finished",
+            ProbeEvent::StallStarted { .. } => "stall_started",
+            ProbeEvent::StallEnded { .. } => "stall_ended",
+            ProbeEvent::RunCompleted { .. } => "run_completed",
+            ProbeEvent::QueueDepth { .. } => "queue_depth",
+            ProbeEvent::CacheOccupancy { .. } => "cache_occupancy",
+            ProbeEvent::HostPinned { .. } => "host_pinned",
+            ProbeEvent::LinkShare { .. } => "link_share",
+            ProbeEvent::GpuFailed { .. } => "gpu_failed",
+            ProbeEvent::GpuRecovered { .. } => "gpu_recovered",
+            ProbeEvent::LinkCapacity { .. } => "link_capacity",
+            ProbeEvent::RunAborted { .. } => "run_aborted",
+            ProbeEvent::RequestRetried { .. } => "request_retried",
+            ProbeEvent::RequestShed { .. } => "request_shed",
+            ProbeEvent::HostMemAvailable { .. } => "host_mem_available",
+            ProbeEvent::ReplanTriggered { .. } => "replan_triggered",
+            ProbeEvent::PlanSwapped { .. } => "plan_swapped",
+            ProbeEvent::PlanMigrationStarted { .. } => "plan_migration_started",
+            ProbeEvent::PlanMigrationFinished { .. } => "plan_migration_finished",
+            ProbeEvent::SilentFaultInjected { .. } => "silent_fault_injected",
+            ProbeEvent::LinkInferred { .. } => "link_inferred",
+            ProbeEvent::GpuInferred { .. } => "gpu_inferred",
+            ProbeEvent::CanarySent { .. } => "canary_sent",
+            ProbeEvent::ChecksumMismatch { .. } => "checksum_mismatch",
+            ProbeEvent::LoadRefetched { .. } => "load_refetched",
+            ProbeEvent::FlowHedged { .. } => "flow_hedged",
+            ProbeEvent::SloBurnAlert { .. } => "slo_burn_alert",
+        }
+    }
 }
 
 /// A timestamped [`ProbeEvent`].
@@ -573,11 +679,20 @@ pub fn to_jsonl(events: &[Event]) -> String {
 
 fn jsonl_line(out: &mut String, e: &Event) {
     use std::fmt::Write;
-    let at = e.at.as_nanos();
+    // The "ev" field comes from `ProbeEvent::name()` — the same string
+    // the parser and per-event counters key on — so the exporters and
+    // readers cannot drift apart per variant.
+    write!(
+        out,
+        r#"{{"at":{},"ev":"{}""#,
+        e.at.as_nanos(),
+        e.what.name()
+    )
+    .expect("writing to String cannot fail");
     match e.what {
         ProbeEvent::RequestEnqueued { req, instance, gpu } => write!(
             out,
-            r#"{{"at":{at},"ev":"request_enqueued","req":{req},"instance":{instance},"gpu":{gpu}}}"#
+            r#","req":{req},"instance":{instance},"gpu":{gpu}"#
         ),
         ProbeEvent::RequestDispatched {
             req,
@@ -587,7 +702,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             run,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"request_dispatched","req":{req},"instance":{instance},"gpu":{gpu},"warm":{warm},"run":{run}}}"#
+            r#","req":{req},"instance":{instance},"gpu":{gpu},"warm":{warm},"run":{run}"#
         ),
         ProbeEvent::RequestCompleted {
             req,
@@ -598,7 +713,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             queue_wait_ns,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"request_completed","req":{req},"instance":{instance},"gpu":{gpu},"cold":{cold},"latency_ns":{latency_ns},"queue_wait_ns":{queue_wait_ns}}}"#
+            r#","req":{req},"instance":{instance},"gpu":{gpu},"cold":{cold},"latency_ns":{latency_ns},"queue_wait_ns":{queue_wait_ns}"#
         ),
         ProbeEvent::ExecStarted {
             run,
@@ -607,11 +722,11 @@ fn jsonl_line(out: &mut String, e: &Event) {
             dha,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"exec_started","run":{run},"layer":{layer},"gpu":{gpu},"dha":{dha}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"dha":{dha}"#
         ),
         ProbeEvent::ExecFinished { run, layer, gpu } => write!(
             out,
-            r#"{{"at":{at},"ev":"exec_finished","run":{run},"layer":{layer},"gpu":{gpu}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu}"#
         ),
         ProbeEvent::LoadStarted {
             run,
@@ -620,7 +735,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             slot,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"load_started","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}"#
         ),
         ProbeEvent::LoadFinished {
             run,
@@ -629,15 +744,15 @@ fn jsonl_line(out: &mut String, e: &Event) {
             slot,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"load_finished","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}"#
         ),
         ProbeEvent::MigrateStarted { run, layer, from } => write!(
             out,
-            r#"{{"at":{at},"ev":"migrate_started","run":{run},"layer":{layer},"from":{from}}}"#
+            r#","run":{run},"layer":{layer},"from":{from}"#
         ),
         ProbeEvent::MigrateFinished { run, layer, from } => write!(
             out,
-            r#"{{"at":{at},"ev":"migrate_finished","run":{run},"layer":{layer},"from":{from}}}"#
+            r#","run":{run},"layer":{layer},"from":{from}"#
         ),
         ProbeEvent::StallStarted {
             run,
@@ -646,7 +761,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             cause,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"stall_started","run":{run},"layer":{layer},"gpu":{gpu},"cause":"{}"}}"#,
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"cause":"{}""#,
             cause.as_str()
         ),
         ProbeEvent::StallEnded {
@@ -656,7 +771,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             ns,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"stall_ended","run":{run},"layer":{layer},"gpu":{gpu},"ns":{ns}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"ns":{ns}"#
         ),
         ProbeEvent::RunCompleted {
             run,
@@ -665,11 +780,11 @@ fn jsonl_line(out: &mut String, e: &Event) {
             exec_busy_ns,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"run_completed","run":{run},"gpu":{gpu},"stall_ns":{stall_ns},"exec_busy_ns":{exec_busy_ns}}}"#
+            r#","run":{run},"gpu":{gpu},"stall_ns":{stall_ns},"exec_busy_ns":{exec_busy_ns}"#
         ),
         ProbeEvent::QueueDepth { gpu, depth } => write!(
             out,
-            r#"{{"at":{at},"ev":"queue_depth","gpu":{gpu},"depth":{depth}}}"#
+            r#","gpu":{gpu},"depth":{depth}"#
         ),
         ProbeEvent::CacheOccupancy {
             gpu,
@@ -677,34 +792,24 @@ fn jsonl_line(out: &mut String, e: &Event) {
             capacity_bytes,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"cache_occupancy","gpu":{gpu},"used_bytes":{used_bytes},"capacity_bytes":{capacity_bytes}}}"#
+            r#","gpu":{gpu},"used_bytes":{used_bytes},"capacity_bytes":{capacity_bytes}"#
         ),
-        ProbeEvent::HostPinned { bytes } => write!(
-            out,
-            r#"{{"at":{at},"ev":"host_pinned","bytes":{bytes}}}"#
-        ),
+        ProbeEvent::HostPinned { bytes } => write!(out, r#","bytes":{bytes}"#),
         ProbeEvent::LinkShare {
             link,
             rate_bps,
             flows,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"link_share","link":{link},"rate_bps":{rate_bps:?},"flows":{flows}}}"#
+            r#","link":{link},"rate_bps":{rate_bps:?},"flows":{flows}"#
         ),
-        ProbeEvent::GpuFailed { gpu } => {
-            write!(out, r#"{{"at":{at},"ev":"gpu_failed","gpu":{gpu}}}"#)
-        }
-        ProbeEvent::GpuRecovered { gpu } => {
-            write!(out, r#"{{"at":{at},"ev":"gpu_recovered","gpu":{gpu}}}"#)
-        }
+        ProbeEvent::GpuFailed { gpu } => write!(out, r#","gpu":{gpu}"#),
+        ProbeEvent::GpuRecovered { gpu } => write!(out, r#","gpu":{gpu}"#),
         ProbeEvent::LinkCapacity { link, capacity_bps } => write!(
             out,
-            r#"{{"at":{at},"ev":"link_capacity","link":{link},"capacity_bps":{capacity_bps:?}}}"#
+            r#","link":{link},"capacity_bps":{capacity_bps:?}"#
         ),
-        ProbeEvent::RunAborted { run, gpu } => write!(
-            out,
-            r#"{{"at":{at},"ev":"run_aborted","run":{run},"gpu":{gpu}}}"#
-        ),
+        ProbeEvent::RunAborted { run, gpu } => write!(out, r#","run":{run},"gpu":{gpu}"#),
         ProbeEvent::RequestRetried {
             req,
             instance,
@@ -712,7 +817,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             attempt,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"request_retried","req":{req},"instance":{instance},"gpu":{gpu},"attempt":{attempt}}}"#
+            r#","req":{req},"instance":{instance},"gpu":{gpu},"attempt":{attempt}"#
         ),
         ProbeEvent::RequestShed {
             req,
@@ -720,20 +825,17 @@ fn jsonl_line(out: &mut String, e: &Event) {
             cause,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"request_shed","req":{req},"instance":{instance},"cause":"{}"}}"#,
+            r#","req":{req},"instance":{instance},"cause":"{}""#,
             cause.as_str()
         ),
-        ProbeEvent::HostMemAvailable { bytes } => write!(
-            out,
-            r#"{{"at":{at},"ev":"host_mem_available","bytes":{bytes}}}"#
-        ),
+        ProbeEvent::HostMemAvailable { bytes } => write!(out, r#","bytes":{bytes}"#),
         ProbeEvent::ReplanTriggered {
             epoch,
             up_gpus,
             degraded_links,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"replan_triggered","epoch":{epoch},"up_gpus":{up_gpus},"degraded_links":{degraded_links}}}"#
+            r#","epoch":{epoch},"up_gpus":{up_gpus},"degraded_links":{degraded_links}"#
         ),
         ProbeEvent::PlanSwapped {
             kind,
@@ -741,19 +843,19 @@ fn jsonl_line(out: &mut String, e: &Event) {
             resident_bytes,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"plan_swapped","kind":{kind},"slots":{slots},"resident_bytes":{resident_bytes}}}"#
+            r#","kind":{kind},"slots":{slots},"resident_bytes":{resident_bytes}"#
         ),
         ProbeEvent::PlanMigrationStarted { kind, gpu, bytes } => write!(
             out,
-            r#"{{"at":{at},"ev":"plan_migration_started","kind":{kind},"gpu":{gpu},"bytes":{bytes}}}"#
+            r#","kind":{kind},"gpu":{gpu},"bytes":{bytes}"#
         ),
         ProbeEvent::PlanMigrationFinished { kind, gpu } => write!(
             out,
-            r#"{{"at":{at},"ev":"plan_migration_finished","kind":{kind},"gpu":{gpu}}}"#
+            r#","kind":{kind},"gpu":{gpu}"#
         ),
         ProbeEvent::SilentFaultInjected { kind, target } => write!(
             out,
-            r#"{{"at":{at},"ev":"silent_fault_injected","kind":"{}","target":{target}}}"#,
+            r#","kind":"{}","target":{target}"#,
             kind.as_str()
         ),
         ProbeEvent::LinkInferred {
@@ -762,7 +864,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             score_milli,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"link_inferred","link":{link},"state":"{}","score_milli":{score_milli}}}"#,
+            r#","link":{link},"state":"{}","score_milli":{score_milli}"#,
             state.as_str()
         ),
         ProbeEvent::GpuInferred {
@@ -771,12 +873,12 @@ fn jsonl_line(out: &mut String, e: &Event) {
             score_milli,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"gpu_inferred","gpu":{gpu},"state":"{}","score_milli":{score_milli}}}"#,
+            r#","gpu":{gpu},"state":"{}","score_milli":{score_milli}"#,
             state.as_str()
         ),
         ProbeEvent::CanarySent { link, bytes } => write!(
             out,
-            r#"{{"at":{at},"ev":"canary_sent","link":{link},"bytes":{bytes}}}"#
+            r#","link":{link},"bytes":{bytes}"#
         ),
         ProbeEvent::ChecksumMismatch {
             run,
@@ -785,7 +887,7 @@ fn jsonl_line(out: &mut String, e: &Event) {
             slot,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"checksum_mismatch","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}"#
         ),
         ProbeEvent::LoadRefetched {
             run,
@@ -794,14 +896,23 @@ fn jsonl_line(out: &mut String, e: &Event) {
             slot,
         } => write!(
             out,
-            r#"{{"at":{at},"ev":"load_refetched","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}}}"#
+            r#","run":{run},"layer":{layer},"gpu":{gpu},"slot":{slot}"#
         ),
         ProbeEvent::FlowHedged { primary, hedge } => write!(
             out,
-            r#"{{"at":{at},"ev":"flow_hedged","primary":{primary},"hedge":{hedge}}}"#
+            r#","primary":{primary},"hedge":{hedge}"#
+        ),
+        ProbeEvent::SloBurnAlert {
+            kind,
+            window_ms,
+            burn_milli,
+        } => write!(
+            out,
+            r#","kind":{kind},"window_ms":{window_ms},"burn_milli":{burn_milli}"#
         ),
     }
     .expect("writing to String cannot fail");
+    out.push('}');
 }
 
 // ---------------------------------------------------------------------------
@@ -1238,6 +1349,15 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     r#"{{"name":"hedge","cat":"detect","ph":"i","s":"p","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"primary":{primary},"hedge":{hedge}}}}}"#
                 ));
             }
+            ProbeEvent::SloBurnAlert {
+                kind,
+                window_ms,
+                burn_milli,
+            } => {
+                body.push(format!(
+                    r#"{{"name":"SLO BURN kind{kind}","cat":"slo","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"kind":{kind},"window_ms":{window_ms},"burn_milli":{burn_milli}}}}}"#
+                ));
+            }
         }
     }
 
@@ -1281,6 +1401,393 @@ fn escape(s: &str) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parser
+// ---------------------------------------------------------------------------
+
+/// A value in one parsed event line. Event lines are flat objects whose
+/// values are only integers, floats, booleans and short strings.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    U(u64),
+    F(f64),
+    B(bool),
+    S(String),
+}
+
+/// Key → value pairs of one flat JSON object, in source order.
+#[derive(Debug, Default)]
+struct Fields {
+    pairs: Vec<(String, JsonVal)>,
+}
+
+impl Fields {
+    fn get(&self, key: &str) -> Option<&JsonVal> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(JsonVal::U(v)) => Ok(*v),
+            _ => Err(format!("missing or non-integer field '{key}'")),
+        }
+    }
+
+    fn idx(&self, key: &str) -> Result<usize, String> {
+        self.u64(key).map(|v| v as usize)
+    }
+
+    fn f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(JsonVal::F(v)) => Ok(*v),
+            Some(JsonVal::U(v)) => Ok(*v as f64),
+            _ => Err(format!("missing or non-numeric field '{key}'")),
+        }
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(JsonVal::B(v)) => Ok(*v),
+            _ => Err(format!("missing or non-boolean field '{key}'")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(JsonVal::S(v)) => Ok(v),
+            _ => Err(format!("missing or non-string field '{key}'")),
+        }
+    }
+}
+
+fn parse_object(line: &str) -> Result<Fields, String> {
+    let b = line.as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |b: &[u8], i: &mut usize| {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+    skip_ws(b, &mut i);
+    if i >= b.len() || b[i] != b'{' {
+        return Err("expected '{'".to_string());
+    }
+    i += 1;
+    let mut fields = Fields::default();
+    skip_ws(b, &mut i);
+    if i < b.len() && b[i] == b'}' {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(b, &mut i);
+        let key = parse_string(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i >= b.len() || b[i] != b':' {
+            return Err(format!("expected ':' after key '{key}'"));
+        }
+        i += 1;
+        skip_ws(b, &mut i);
+        let val = parse_value(b, &mut i)?;
+        fields.pairs.push((key, val));
+        skip_ws(b, &mut i);
+        match b.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => break,
+            _ => return Err("expected ',' or '}'".to_string()),
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
+    if *i >= b.len() || b[*i] != b'"' {
+        return Err("expected '\"'".to_string());
+    }
+    *i += 1;
+    let mut out = String::new();
+    while *i < b.len() {
+        match b[*i] {
+            b'"' => {
+                *i += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                *i += 1;
+                match b.get(*i) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*i + 1..*i + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                        *i += 4;
+                    }
+                    _ => return Err("unsupported escape".to_string()),
+                }
+                *i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through verbatim.
+                let start = *i;
+                let mut end = *i + 1;
+                while end < b.len() && (b[end] & 0xc0) == 0x80 {
+                    end += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..end]).map_err(|_| "invalid UTF-8")?);
+                *i = end;
+                let _ = c;
+            }
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn parse_value(b: &[u8], i: &mut usize) -> Result<JsonVal, String> {
+    match b.get(*i) {
+        Some(b'"') => parse_string(b, i).map(JsonVal::S),
+        Some(b't') if b[*i..].starts_with(b"true") => {
+            *i += 4;
+            Ok(JsonVal::B(true))
+        }
+        Some(b'f') if b[*i..].starts_with(b"false") => {
+            *i += 5;
+            Ok(JsonVal::B(false))
+        }
+        Some(c) if c.is_ascii_digit() || *c == b'-' => {
+            let start = *i;
+            while *i < b.len()
+                && (b[*i].is_ascii_digit() || matches!(b[*i], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                *i += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*i]).map_err(|_| "invalid number")?;
+            if let Ok(v) = s.parse::<u64>() {
+                Ok(JsonVal::U(v))
+            } else {
+                s.parse::<f64>()
+                    .map(JsonVal::F)
+                    .map_err(|_| format!("invalid number '{s}'"))
+            }
+        }
+        _ => Err("unsupported value".to_string()),
+    }
+}
+
+/// Parses a JSONL event log written by [`to_jsonl`] back into events.
+///
+/// Blank lines are skipped; any malformed line or unknown event name is
+/// an error naming the 1-based line. `parse_jsonl(to_jsonl(&events))`
+/// round-trips every event except float payloads, which round-trip
+/// exactly too because [`to_jsonl`] writes shortest-roundtrip floats.
+pub fn parse_jsonl(input: &str) -> Result<Vec<Event>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ctx = |e: String| format!("line {}: {e}", lineno + 1);
+        let f = parse_object(line).map_err(ctx)?;
+        let at = f.u64("at").map_err(ctx)?;
+        let what = event_from_fields(&f).map_err(ctx)?;
+        out.push(Event {
+            at: SimTime::from_nanos(at),
+            what,
+        });
+    }
+    Ok(out)
+}
+
+fn event_from_fields(f: &Fields) -> Result<ProbeEvent, String> {
+    let name = f.str("ev")?;
+    let ev = match name {
+        "request_enqueued" => ProbeEvent::RequestEnqueued {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            gpu: f.idx("gpu")?,
+        },
+        "request_dispatched" => ProbeEvent::RequestDispatched {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            gpu: f.idx("gpu")?,
+            warm: f.bool("warm")?,
+            run: f.idx("run")?,
+        },
+        "request_completed" => ProbeEvent::RequestCompleted {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            gpu: f.idx("gpu")?,
+            cold: f.bool("cold")?,
+            latency_ns: f.u64("latency_ns")?,
+            queue_wait_ns: f.u64("queue_wait_ns")?,
+        },
+        "exec_started" => ProbeEvent::ExecStarted {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            dha: f.bool("dha")?,
+        },
+        "exec_finished" => ProbeEvent::ExecFinished {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+        },
+        "load_started" => ProbeEvent::LoadStarted {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            slot: f.idx("slot")?,
+        },
+        "load_finished" => ProbeEvent::LoadFinished {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            slot: f.idx("slot")?,
+        },
+        "migrate_started" => ProbeEvent::MigrateStarted {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            from: f.idx("from")?,
+        },
+        "migrate_finished" => ProbeEvent::MigrateFinished {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            from: f.idx("from")?,
+        },
+        "stall_started" => ProbeEvent::StallStarted {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            cause: StallCause::parse(f.str("cause")?)
+                .ok_or_else(|| format!("unknown stall cause '{}'", f.str("cause").unwrap()))?,
+        },
+        "stall_ended" => ProbeEvent::StallEnded {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            ns: f.u64("ns")?,
+        },
+        "run_completed" => ProbeEvent::RunCompleted {
+            run: f.idx("run")?,
+            gpu: f.idx("gpu")?,
+            stall_ns: f.u64("stall_ns")?,
+            exec_busy_ns: f.u64("exec_busy_ns")?,
+        },
+        "queue_depth" => ProbeEvent::QueueDepth {
+            gpu: f.idx("gpu")?,
+            depth: f.idx("depth")?,
+        },
+        "cache_occupancy" => ProbeEvent::CacheOccupancy {
+            gpu: f.idx("gpu")?,
+            used_bytes: f.u64("used_bytes")?,
+            capacity_bytes: f.u64("capacity_bytes")?,
+        },
+        "host_pinned" => ProbeEvent::HostPinned {
+            bytes: f.u64("bytes")?,
+        },
+        "link_share" => ProbeEvent::LinkShare {
+            link: f.idx("link")?,
+            rate_bps: f.f64("rate_bps")?,
+            flows: f.idx("flows")?,
+        },
+        "gpu_failed" => ProbeEvent::GpuFailed { gpu: f.idx("gpu")? },
+        "gpu_recovered" => ProbeEvent::GpuRecovered { gpu: f.idx("gpu")? },
+        "link_capacity" => ProbeEvent::LinkCapacity {
+            link: f.idx("link")?,
+            capacity_bps: f.f64("capacity_bps")?,
+        },
+        "run_aborted" => ProbeEvent::RunAborted {
+            run: f.idx("run")?,
+            gpu: f.idx("gpu")?,
+        },
+        "request_retried" => ProbeEvent::RequestRetried {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            gpu: f.idx("gpu")?,
+            attempt: f.u64("attempt")? as u32,
+        },
+        "request_shed" => ProbeEvent::RequestShed {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            cause: ShedCause::parse(f.str("cause")?)
+                .ok_or_else(|| format!("unknown shed cause '{}'", f.str("cause").unwrap()))?,
+        },
+        "host_mem_available" => ProbeEvent::HostMemAvailable {
+            bytes: f.u64("bytes")?,
+        },
+        "replan_triggered" => ProbeEvent::ReplanTriggered {
+            epoch: f.u64("epoch")?,
+            up_gpus: f.idx("up_gpus")?,
+            degraded_links: f.idx("degraded_links")?,
+        },
+        "plan_swapped" => ProbeEvent::PlanSwapped {
+            kind: f.idx("kind")?,
+            slots: f.idx("slots")?,
+            resident_bytes: f.u64("resident_bytes")?,
+        },
+        "plan_migration_started" => ProbeEvent::PlanMigrationStarted {
+            kind: f.idx("kind")?,
+            gpu: f.idx("gpu")?,
+            bytes: f.u64("bytes")?,
+        },
+        "plan_migration_finished" => ProbeEvent::PlanMigrationFinished {
+            kind: f.idx("kind")?,
+            gpu: f.idx("gpu")?,
+        },
+        "silent_fault_injected" => ProbeEvent::SilentFaultInjected {
+            kind: SilentFaultKind::parse(f.str("kind")?)
+                .ok_or_else(|| format!("unknown fault kind '{}'", f.str("kind").unwrap()))?,
+            target: f.idx("target")?,
+        },
+        "link_inferred" => ProbeEvent::LinkInferred {
+            link: f.idx("link")?,
+            state: DetectState::parse(f.str("state")?)
+                .ok_or_else(|| format!("unknown state '{}'", f.str("state").unwrap()))?,
+            score_milli: f.u64("score_milli")?,
+        },
+        "gpu_inferred" => ProbeEvent::GpuInferred {
+            gpu: f.idx("gpu")?,
+            state: DetectState::parse(f.str("state")?)
+                .ok_or_else(|| format!("unknown state '{}'", f.str("state").unwrap()))?,
+            score_milli: f.u64("score_milli")?,
+        },
+        "canary_sent" => ProbeEvent::CanarySent {
+            link: f.idx("link")?,
+            bytes: f.u64("bytes")?,
+        },
+        "checksum_mismatch" => ProbeEvent::ChecksumMismatch {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            slot: f.idx("slot")?,
+        },
+        "load_refetched" => ProbeEvent::LoadRefetched {
+            run: f.idx("run")?,
+            layer: f.idx("layer")?,
+            gpu: f.idx("gpu")?,
+            slot: f.idx("slot")?,
+        },
+        "flow_hedged" => ProbeEvent::FlowHedged {
+            primary: f.u64("primary")?,
+            hedge: f.u64("hedge")?,
+        },
+        "slo_burn_alert" => ProbeEvent::SloBurnAlert {
+            kind: f.idx("kind")?,
+            window_ms: f.u64("window_ms")?,
+            burn_milli: f.u64("burn_milli")?,
+        },
+        other => return Err(format!("unknown event name '{other}'")),
+    };
+    debug_assert_eq!(ev.name(), name, "parser/name() drift for '{name}'");
+    Ok(ev)
 }
 
 #[cfg(test)]
@@ -1664,6 +2171,199 @@ mod tests {
         assert!(evs.iter().any(|e| e["name"] == "checksum mismatch"));
         assert!(evs.iter().any(|e| e["name"] == "refetch"));
         assert!(evs.iter().any(|e| e["name"] == "hedge"));
+    }
+
+    /// One sample event of every variant, exercising each exporter arm.
+    fn one_of_each() -> Vec<Event> {
+        let samples = vec![
+            ProbeEvent::RequestEnqueued {
+                req: 1,
+                instance: 2,
+                gpu: 3,
+            },
+            ProbeEvent::RequestDispatched {
+                req: 1,
+                instance: 2,
+                gpu: 3,
+                warm: true,
+                run: 4,
+            },
+            ProbeEvent::RequestCompleted {
+                req: 1,
+                instance: 2,
+                gpu: 3,
+                cold: false,
+                latency_ns: 5_000,
+                queue_wait_ns: 1_000,
+            },
+            ProbeEvent::ExecStarted {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                dha: true,
+            },
+            ProbeEvent::ExecFinished {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+            },
+            ProbeEvent::LoadStarted {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                slot: 0,
+            },
+            ProbeEvent::LoadFinished {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                slot: 0,
+            },
+            ProbeEvent::MigrateStarted {
+                run: 4,
+                layer: 5,
+                from: 1,
+            },
+            ProbeEvent::MigrateFinished {
+                run: 4,
+                layer: 5,
+                from: 1,
+            },
+            ProbeEvent::StallStarted {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                cause: StallCause::PcieLoad,
+            },
+            ProbeEvent::StallEnded {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                ns: 77,
+            },
+            ProbeEvent::RunCompleted {
+                run: 4,
+                gpu: 3,
+                stall_ns: 77,
+                exec_busy_ns: 88,
+            },
+            ProbeEvent::QueueDepth { gpu: 3, depth: 9 },
+            ProbeEvent::CacheOccupancy {
+                gpu: 3,
+                used_bytes: 10,
+                capacity_bytes: 20,
+            },
+            ProbeEvent::HostPinned { bytes: 30 },
+            ProbeEvent::LinkShare {
+                link: 0,
+                rate_bps: 0.1 + 0.2,
+                flows: 2,
+            },
+            ProbeEvent::GpuFailed { gpu: 3 },
+            ProbeEvent::GpuRecovered { gpu: 3 },
+            ProbeEvent::LinkCapacity {
+                link: 0,
+                capacity_bps: 6.4e9,
+            },
+            ProbeEvent::RunAborted { run: 4, gpu: 3 },
+            ProbeEvent::RequestRetried {
+                req: 1,
+                instance: 2,
+                gpu: 3,
+                attempt: 1,
+            },
+            ProbeEvent::RequestShed {
+                req: 1,
+                instance: 2,
+                cause: ShedCause::Deadline,
+            },
+            ProbeEvent::HostMemAvailable { bytes: 40 },
+            ProbeEvent::ReplanTriggered {
+                epoch: 1,
+                up_gpus: 3,
+                degraded_links: 1,
+            },
+            ProbeEvent::PlanSwapped {
+                kind: 0,
+                slots: 2,
+                resident_bytes: 50,
+            },
+            ProbeEvent::PlanMigrationStarted {
+                kind: 0,
+                gpu: 3,
+                bytes: 60,
+            },
+            ProbeEvent::PlanMigrationFinished { kind: 0, gpu: 3 },
+            ProbeEvent::SilentFaultInjected {
+                kind: SilentFaultKind::GpuSlow,
+                target: 3,
+            },
+            ProbeEvent::LinkInferred {
+                link: 0,
+                state: DetectState::Quarantined,
+                score_milli: 123,
+            },
+            ProbeEvent::GpuInferred {
+                gpu: 3,
+                state: DetectState::Probation,
+                score_milli: 456,
+            },
+            ProbeEvent::CanarySent { link: 0, bytes: 70 },
+            ProbeEvent::ChecksumMismatch {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                slot: 0,
+            },
+            ProbeEvent::LoadRefetched {
+                run: 4,
+                layer: 5,
+                gpu: 3,
+                slot: 0,
+            },
+            ProbeEvent::FlowHedged {
+                primary: 6,
+                hedge: 7,
+            },
+            ProbeEvent::SloBurnAlert {
+                kind: 0,
+                window_ms: 60_000,
+                burn_milli: 2_500,
+            },
+        ];
+        samples
+            .into_iter()
+            .enumerate()
+            .map(|(i, what)| Event {
+                at: t(i as u64),
+                what,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        let events = one_of_each();
+        let out = to_jsonl(&events);
+        let parsed = parse_jsonl(&out).expect("parses");
+        assert_eq!(parsed, events);
+        // The "ev" field on every line is exactly `ProbeEvent::name()`.
+        for (line, e) in out.lines().zip(&events) {
+            assert!(
+                line.contains(&format!(r#""ev":"{}""#, e.what.name())),
+                "line {line} does not carry name {}",
+                e.what.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_jsonl_rejects_malformed_lines() {
+        assert!(parse_jsonl("not json").is_err());
+        assert!(parse_jsonl(r#"{"at":1,"ev":"no_such_event"}"#).is_err());
+        assert!(parse_jsonl(r#"{"at":1,"ev":"gpu_failed"}"#).is_err()); // missing gpu
+        let err = parse_jsonl("{\"at\":1,\"ev\":\"gpu_failed\",\"gpu\":0}\nbroken").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
     }
 
     #[test]
