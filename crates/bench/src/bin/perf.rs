@@ -1,11 +1,11 @@
 //! Performance-trajectory harness: measures raw discrete-event engine
 //! throughput (executed events per wall-clock second) on a fixed
-//! fig15-style serving workload and writes `BENCH_simcore_events.json`
-//! at the repo root.
+//! fig15-style serving workload and appends a dated entry to the
+//! `BENCH_simcore_events.json` trajectory at the repo root.
 //!
 //! The workload is pinned — 3 minutes of MAF-like arrivals at 150 rps
 //! over 300 mixed BERT/RoBERTa/GPT-2 instances under PT+DHA, seed and
-//! all — so the JSON is comparable commit-to-commit: `sim_events` must
+//! all — so entries are comparable commit-to-commit: `sim_events` must
 //! stay bit-identical (the simulation is deterministic) while
 //! `events_per_sec` tracks engine speed. The same workload runs twice,
 //! probe-disabled and probe-enabled, so the cost of observability is a
@@ -14,12 +14,17 @@
 //! machine:
 //!
 //! ```text
-//! cargo run --release -p bench --bin perf
+//! cargo run --release -p bench --bin perf [-- --gate] [-- --note "..."]
 //! ```
+//!
+//! With `--gate` (the CI mode) the run fails, without touching the
+//! trajectory, when bare events/sec drops below 0.9× the last recorded
+//! entry — the perf-regression tripwire. `--note` labels the new entry.
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use deepplan::PlanMode;
+use serde_json::{json, Value};
 use simcore::time::SimDur;
 
 use bench::experiments::fig15;
@@ -28,8 +33,56 @@ use bench::experiments::serving::{run_mix, run_mix_probed};
 const HORIZON_SECS: u64 = 180;
 const RATE: f64 = 150.0;
 const INSTANCES: usize = 300;
+const TRAJECTORY: &str = "BENCH_simcore_events.json";
+/// A gated run must stay within this fraction of the last entry.
+const GATE_RATIO: f64 = 0.9;
+
+/// Days-since-epoch to civil date (Howard Hinnant's algorithm), so the
+/// trajectory carries human-readable dates without a chrono dependency.
+fn today() -> String {
+    let secs = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Loads the trajectory, upgrading a legacy single-object file to a
+/// one-entry array.
+fn load_trajectory() -> Vec<Value> {
+    let Ok(text) = std::fs::read_to_string(TRAJECTORY) else {
+        return Vec::new();
+    };
+    match serde_json::from_str::<Value>(&text) {
+        Ok(Value::Array(entries)) => entries,
+        Ok(obj @ Value::Object(_)) => vec![obj],
+        _ => {
+            eprintln!("warning: {TRAJECTORY} is not valid JSON; starting a fresh trajectory");
+            Vec::new()
+        }
+    }
+}
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate = args.iter().any(|a| a == "--gate");
+    let note = args
+        .iter()
+        .position(|a| a == "--note")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_default();
+
     let horizon = SimDur::from_secs(HORIZON_SECS);
     let (kinds, instance_kinds) = fig15::mix(INSTANCES);
     let trace = fig15::trace(INSTANCES, horizon, RATE);
@@ -55,25 +108,55 @@ fn main() {
     );
     let probe_overhead_pct = (wall_secs_probed / wall_secs.max(1e-9) - 1.0) * 100.0;
 
-    let json = format!(
-        "{{\n  \"workload\": \"fig15-maf {RATE} rps x {HORIZON_SECS} s, {INSTANCES} instances, pt+dha\",\n  \
-           \"sim_events\": {},\n  \
-           \"wall_secs\": {wall_secs:.3},\n  \
-           \"events_per_sec\": {events_per_sec:.0},\n  \
-           \"wall_secs_probed\": {wall_secs_probed:.3},\n  \
-           \"events_per_sec_probed\": {events_per_sec_probed:.0},\n  \
-           \"probe_overhead_pct\": {probe_overhead_pct:.1},\n  \
-           \"probe_events\": {},\n  \
-           \"sim_secs\": {HORIZON_SECS},\n  \
-           \"sim_wall_ratio\": {sim_wall_ratio:.1},\n  \
-           \"completed\": {}\n}}\n",
-        report.sim_events,
-        probe_log.len(),
-        report.completed
-    );
-    println!("{json}");
-    if let Err(e) = std::fs::write("BENCH_simcore_events.json", &json) {
-        eprintln!("error: writing BENCH_simcore_events.json: {e}");
+    let mut trajectory = load_trajectory();
+    if let Some(last) = trajectory.last() {
+        let last_eps = last["events_per_sec"].as_f64().unwrap_or(0.0);
+        let last_events = last["sim_events"].as_u64();
+        if last_events.is_some() && last_events != Some(report.sim_events) {
+            eprintln!(
+                "warning: sim_events changed ({:?} -> {}): the workload semantics moved, \
+                 throughput is not directly comparable",
+                last_events, report.sim_events
+            );
+        }
+        let floor = last_eps * GATE_RATIO;
+        println!(
+            "gate: {events_per_sec:.0} events/sec vs floor {floor:.0} \
+             ({GATE_RATIO}x last entry {last_eps:.0})"
+        );
+        if gate && events_per_sec < floor {
+            eprintln!(
+                "error: perf regression: {events_per_sec:.0} events/sec < {floor:.0} \
+                 ({GATE_RATIO}x last trajectory entry); trajectory left untouched"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let entry = json!({
+        "date": today(),
+        "note": note,
+        "workload": format!(
+            "fig15-maf {RATE} rps x {HORIZON_SECS} s, {INSTANCES} instances, pt+dha"
+        ),
+        "sim_events": report.sim_events,
+        "wall_secs": (wall_secs * 1e3).round() / 1e3,
+        "events_per_sec": events_per_sec.round(),
+        "wall_secs_probed": (wall_secs_probed * 1e3).round() / 1e3,
+        "events_per_sec_probed": events_per_sec_probed.round(),
+        "probe_overhead_pct": (probe_overhead_pct * 10.0).round() / 10.0,
+        "probe_events": probe_log.len(),
+        "sim_secs": HORIZON_SECS,
+        "sim_wall_ratio": (sim_wall_ratio * 10.0).round() / 10.0,
+        "completed": report.completed,
+    });
+    println!("{}", serde_json::to_string_pretty(&entry).unwrap());
+    trajectory.push(entry);
+
+    let mut out = serde_json::to_string_pretty(&Value::Array(trajectory)).unwrap();
+    out.push('\n');
+    if let Err(e) = std::fs::write(TRAJECTORY, out) {
+        eprintln!("error: writing {TRAJECTORY}: {e}");
         std::process::exit(1);
     }
 }

@@ -128,7 +128,16 @@ pub fn run_mix_probed(
         .map(|&id| DeployedModel::prepare(&build(id), &machine, mode, cfg.max_pt_gpus))
         .collect();
     let (probe, log) = Probe::logging();
+    // The fig15 mix emits ~500 events per request; growing the log by
+    // doubling would memcpy the better part of a gigabyte, which lands
+    // in the measured probe overhead. Reserve once instead.
+    log.borrow_mut().events.reserve(trace.len() * 600);
     let report = run_server_probed(cfg, deployed, &instance_kinds, trace, SimTime::ZERO, probe);
-    let events = log.borrow().events.clone();
+    // The probe handles are gone once the run returns, so the log can be
+    // taken without cloning tens of millions of events.
+    let events = match std::rc::Rc::try_unwrap(log) {
+        Ok(cell) => cell.into_inner().events,
+        Err(log) => log.borrow().events.clone(),
+    };
     (report, events)
 }

@@ -6,15 +6,39 @@
 //! counter so stale ticks become no-ops — this is how flow completions stay
 //! correct when new flows join mid-transfer (e.g. a DHA read starting while
 //! a load is in flight).
-
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::rc::Rc;
+//!
+//! Callbacks live in a [`Slab`] whose key travels with the flow as its
+//! tag, so completion delivery is an indexed load instead of a hash
+//! lookup; hedged-transfer races live in a [`GenSlab`] referenced by
+//! `Copy` keys from the scheduled closures, replacing the old
+//! `Rc<RefCell<Race>>`-clone-per-event pattern.
 
 use crate::flow::{FlowId, FlowNet, LinkId};
 use crate::probe::{Probe, ProbeEvent};
 use crate::sim::{Ctx, EventFn};
+use crate::slab::{GenKey, GenSlab, Slab};
 use crate::time::{SimDur, SimTime};
+
+/// What to do when a flow completes.
+enum Callback<S> {
+    /// Deliver this closure.
+    Plain(EventFn<S>),
+    /// The flow is a contestant in a hedged race: run the race's finish
+    /// line (first contestant home settles, the rest are no-ops).
+    Race(GenKey),
+}
+
+/// State of one hedged transfer (see [`start_flow_hedged`]).
+struct Race<S> {
+    /// Set by the first finish-line event; later ones return early.
+    settled: bool,
+    /// Whether the hedge-launch watchdog is still scheduled. The race
+    /// record can only be freed once the watchdog can no longer read it.
+    watchdog_pending: bool,
+    /// Contestant flows (primary, then hedge); all cancelled at settle.
+    ids: Vec<FlowId>,
+    on_done: Option<EventFn<S>>,
+}
 
 /// A [`FlowNet`] wired into the simulator with completion callbacks.
 pub struct FlowDriver<S> {
@@ -27,10 +51,18 @@ pub struct FlowDriver<S> {
     /// bookkeeping, surfaced in serving reports).
     pub hedged: u64,
     gen: u64,
-    callbacks: HashMap<u64, EventFn<S>>,
+    /// Per-flow completion actions, keyed by the tag carried on the flow.
+    callbacks: Slab<Callback<S>>,
+    /// In-flight hedged races, referenced by generational key from the
+    /// finish-line and watchdog events.
+    races: GenSlab<Race<S>>,
     /// Links that carried flows at the last probe emission, so idle
     /// transitions publish a zero sample closing the counter track.
     link_busy: Vec<bool>,
+    /// Reused buffers for probe emission and completion draining.
+    busy_scratch: Vec<bool>,
+    loads_scratch: Vec<(usize, f64, usize)>,
+    completed_scratch: Vec<(FlowId, u64)>,
     /// Gray-failure arms: the next flow crossing an armed link stalls for
     /// the given duration before resuming.
     stuck_arms: Vec<(LinkId, SimDur)>,
@@ -46,8 +78,12 @@ impl<S> Default for FlowDriver<S> {
             probe: Probe::disabled(),
             hedged: 0,
             gen: 0,
-            callbacks: HashMap::new(),
+            callbacks: Slab::new(),
+            races: GenSlab::new(),
             link_busy: Vec::new(),
+            busy_scratch: Vec::new(),
+            loads_scratch: Vec::new(),
+            completed_scratch: Vec::new(),
             stuck_arms: Vec::new(),
             corrupt_arms: Vec::new(),
         }
@@ -74,8 +110,11 @@ impl<S> FlowDriver<S> {
         if !self.probe.is_enabled() {
             return;
         }
-        let loads = self.net.link_loads();
-        let mut busy = vec![false; self.net.link_count()];
+        let mut loads = std::mem::take(&mut self.loads_scratch);
+        self.net.link_loads_into(&mut loads);
+        let mut busy = std::mem::take(&mut self.busy_scratch);
+        busy.clear();
+        busy.resize(self.net.link_count(), false);
         for &(link, rate_bps, flows) in &loads {
             busy[link] = true;
             self.probe.emit(
@@ -99,7 +138,9 @@ impl<S> FlowDriver<S> {
                 );
             }
         }
-        self.link_busy = busy;
+        std::mem::swap(&mut self.link_busy, &mut busy);
+        self.busy_scratch = busy;
+        self.loads_scratch = loads;
     }
 
     /// Arms a stuck-flow gray failure: the next flow started across
@@ -152,12 +193,24 @@ pub fn start_flow<S: HasFlowDriver>(
     path: Vec<LinkId>,
     on_done: EventFn<S>,
 ) -> FlowId {
+    start_flow_cb(state, ctx, bytes, path, Callback::Plain(on_done))
+}
+
+/// [`start_flow`] over either completion action (plain callback or race
+/// finish line).
+fn start_flow_cb<S: HasFlowDriver>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    bytes: f64,
+    path: Vec<LinkId>,
+    on_done: Callback<S>,
+) -> FlowId {
     let now = ctx.now();
     let d = state.flow_driver();
     d.net.advance(now);
     let arm = d.stuck_arms.iter().position(|(l, _)| path.contains(l));
-    let id = d.net.add_flow(bytes, path);
-    d.callbacks.insert(id.0, on_done);
+    let tag = d.callbacks.insert(on_done) as u64;
+    let id = d.net.add_flow_tagged(bytes, path, tag);
     // Consume a stuck arm only if the flow actually froze (zero-byte
     // flows complete immediately and cannot stall).
     if let Some(i) = arm {
@@ -212,53 +265,40 @@ pub fn start_flow_hedged<S: HasFlowDriver>(
     timeout: SimDur,
     on_done: EventFn<S>,
 ) -> FlowId {
-    struct Race<S> {
-        settled: bool,
-        ids: Vec<FlowId>,
-        on_done: Option<EventFn<S>>,
-    }
-    let race = Rc::new(RefCell::new(Race {
+    let key = state.flow_driver().races.insert(Race {
         settled: false,
+        watchdog_pending: true,
         ids: Vec::new(),
         on_done: Some(on_done),
-    }));
-    // Both contestants share one finish line: the first to complete takes
-    // the callback, cancels every other contestant, and delivers.
-    fn finish_line<S: HasFlowDriver>(race: &Rc<RefCell<Race<S>>>) -> EventFn<S> {
-        let race = Rc::clone(race);
-        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
-            let (ids, cb) = {
-                let mut r = race.borrow_mut();
-                if r.settled {
-                    return;
-                }
-                r.settled = true;
-                (std::mem::take(&mut r.ids), r.on_done.take())
-            };
-            for id in ids {
-                // Cancelling the winner itself is a harmless no-op.
-                cancel_flow(state, ctx, id);
-            }
-            if let Some(cb) = cb {
-                cb(state, ctx);
-            }
-        })
+    });
+    let primary = start_flow_cb(state, ctx, bytes, path.clone(), Callback::Race(key));
+    if let Some(race) = state.flow_driver().races.get_mut(key) {
+        race.ids.push(primary);
     }
-    let primary = start_flow(state, ctx, bytes, path.clone(), finish_line(&race));
-    race.borrow_mut().ids.push(primary);
-    let watchdog = Rc::clone(&race);
     ctx.schedule_in(
         timeout,
         Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
-            if watchdog.borrow().settled {
+            let d = state.flow_driver();
+            let Some(race) = d.races.get_mut(key) else {
+                return;
+            };
+            race.watchdog_pending = false;
+            if race.settled || race.ids.is_empty() {
+                // Already decided (or every contestant was cancelled):
+                // the watchdog was the last reference, so free the race.
+                d.races.remove(key);
                 return;
             }
-            // Hedge only while the primary is genuinely still in flight.
-            if state.flow_driver().net.flow_remaining(primary).is_none() {
+            // Hedge only while the primary is genuinely still in flight;
+            // a completed primary has a finish line queued that will
+            // settle and free the race.
+            if d.net.flow_remaining(primary).is_none() {
                 return;
             }
-            let hedge = start_flow(state, ctx, bytes, path, finish_line(&watchdog));
-            watchdog.borrow_mut().ids.push(hedge);
+            let hedge = start_flow_cb(state, ctx, bytes, path, Callback::Race(key));
+            if let Some(race) = state.flow_driver().races.get_mut(key) {
+                race.ids.push(hedge);
+            }
             let d = state.flow_driver();
             d.hedged += 1;
             d.probe.emit(
@@ -271,6 +311,33 @@ pub fn start_flow_hedged<S: HasFlowDriver>(
         }),
     );
     primary
+}
+
+/// Finish line of a hedged race: the first contestant home takes the
+/// callback, cancels every other contestant, and delivers. Scheduled as
+/// a zero-delay event per completing contestant; later arrivals find the
+/// race settled (or already freed) and return.
+fn race_finish<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>, key: GenKey) {
+    let d = state.flow_driver();
+    let Some(race) = d.races.get_mut(key) else {
+        return;
+    };
+    if race.settled {
+        return;
+    }
+    race.settled = true;
+    let ids = std::mem::take(&mut race.ids);
+    let cb = race.on_done.take();
+    if !race.watchdog_pending {
+        d.races.remove(key);
+    }
+    for id in ids {
+        // Cancelling the winner itself is a harmless no-op.
+        cancel_flow(state, ctx, id);
+    }
+    if let Some(cb) = cb {
+        cb(state, ctx);
+    }
 }
 
 /// Changes a link's capacity mid-simulation (fault injection), keeping
@@ -305,10 +372,22 @@ pub fn cancel_flow<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>, id: FlowId
     let now = ctx.now();
     let d = state.flow_driver();
     d.net.advance(now);
-    if !d.net.cancel_flow(id) {
+    let Some(tag) = d.net.cancel_flow_tagged(id) else {
         return false;
+    };
+    match d.callbacks.remove(tag as usize) {
+        Some(Callback::Race(key)) => {
+            // Drop the contestant from its race; if that leaves a race
+            // nobody can ever settle or inspect again, free it.
+            if let Some(race) = d.races.get_mut(key) {
+                race.ids.retain(|&f| f != id);
+                if !race.settled && race.ids.is_empty() && !race.watchdog_pending {
+                    d.races.remove(key);
+                }
+            }
+        }
+        Some(Callback::Plain(_)) | None => {}
     }
-    d.callbacks.remove(&id.0);
     d.gen += 1;
     d.emit_link_shares(now);
     fire_completions(state, ctx);
@@ -318,14 +397,23 @@ pub fn cancel_flow<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>, id: FlowId
 
 /// Delivers callbacks for every flow the network has marked complete.
 fn fire_completions<S: HasFlowDriver>(state: &mut S, ctx: &mut Ctx<S>) {
-    let done = state.flow_driver().net.take_completed();
-    for id in done {
-        if let Some(cb) = state.flow_driver().callbacks.remove(&id.0) {
+    let d = state.flow_driver();
+    let mut done = std::mem::take(&mut d.completed_scratch);
+    done.clear();
+    d.net.drain_completed_into(&mut done);
+    for (_, tag) in done.drain(..) {
+        match d.callbacks.remove(tag as usize) {
             // Deliver through the event queue so that callback effects
             // observe a consistent driver state.
-            ctx.schedule_in(crate::time::SimDur::ZERO, cb);
+            Some(Callback::Plain(cb)) => ctx.schedule_in(SimDur::ZERO, cb),
+            Some(Callback::Race(key)) => ctx.schedule_in(
+                SimDur::ZERO,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| race_finish(state, ctx, key)),
+            ),
+            None => {}
         }
     }
+    state.flow_driver().completed_scratch = done;
 }
 
 /// (Re)schedules the single pending tick at the next completion instant.

@@ -10,6 +10,15 @@
 //! This is the substrate behind the paper's Table 2: two GPUs pulling from
 //! the host through a shared PCIe-switch uplink each converge to half the
 //! uplink bandwidth with no special-casing.
+//!
+//! Re-rating is *incremental*: a mutation (flow add/cancel/freeze,
+//! capacity change, completion) only re-solves the connected component of
+//! links reachable from the mutated links through shared flows. Flows
+//! outside that component keep their rates — water-filling decomposes
+//! exactly over connected components, so the restricted solve reproduces
+//! the full solve bit-for-bit (debug builds assert this on every call; a
+//! full-solve fallback remains one flag away via
+//! [`FlowNet::set_force_full_rerate`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -33,9 +42,16 @@ struct Link {
     carried: f64,
 }
 
+/// Tag value meaning "no tag attached" (see [`FlowNet::add_flow_tagged`]).
+pub const NO_TAG: u64 = u64::MAX;
+
 #[derive(Debug)]
 struct Flow {
     id: FlowId,
+    /// Opaque caller cookie reported back at completion/cancellation;
+    /// the driver stores its callback-slab key here so completions need
+    /// no hash lookup.
+    tag: u64,
     remaining: f64,
     path: Vec<LinkId>,
     rate: f64,
@@ -64,9 +80,32 @@ struct Flow {
 pub struct FlowNet {
     links: Vec<Link>,
     flows: Vec<Flow>,
-    completed: Vec<FlowId>,
+    completed: Vec<(FlowId, u64)>,
     next_flow_id: u64,
     last_advance: SimTime,
+    /// Diagnostics escape hatch: route every re-rate through the
+    /// from-scratch solver instead of the component-restricted one.
+    force_full_rerate: bool,
+    // --- reusable scratch (kept across calls to kill per-event allocs) ---
+    /// Link indices seeding the next component search.
+    seeds: Vec<usize>,
+    /// Per-link list of crossing flow indices, rebuilt per restricted solve.
+    adj: Vec<Vec<u32>>,
+    /// Per-link "in component" marks.
+    link_mark: Vec<bool>,
+    /// Component members, as sorted flow indices.
+    comp_flows: Vec<u32>,
+    /// Per-flow "in component" marks.
+    in_comp: Vec<bool>,
+    /// BFS frontier of link indices.
+    bfs: Vec<usize>,
+    /// Water-filling state (shared by full and restricted solves).
+    residual: Vec<f64>,
+    unfrozen_per_link: Vec<usize>,
+    frozen: Vec<bool>,
+    /// `link_loads_into` accumulators.
+    loads_rate: Vec<f64>,
+    loads_count: Vec<usize>,
 }
 
 impl FlowNet {
@@ -122,7 +161,15 @@ impl FlowNet {
             "link capacity must be positive"
         );
         self.links[link.0].capacity = capacity;
-        self.recompute_rates();
+        self.seeds.clear();
+        self.seeds.push(link.0);
+        self.rerate_from_seeds();
+    }
+
+    /// Forces every re-rate through the from-scratch solver (diagnostics
+    /// and differential testing; the incremental path is the default).
+    pub fn set_force_full_rerate(&mut self, on: bool) {
+        self.force_full_rerate = on;
     }
 
     /// Removes an in-flight flow without completing it (fault injection:
@@ -133,13 +180,20 @@ impl FlowNet {
     /// The caller must have called [`FlowNet::advance`] to the current
     /// time first.
     pub fn cancel_flow(&mut self, id: FlowId) -> bool {
-        let before = self.flows.len();
-        self.flows.retain(|f| f.id != id);
-        if self.flows.len() == before {
-            return false;
-        }
-        self.recompute_rates();
-        true
+        self.cancel_flow_tagged(id).is_some()
+    }
+
+    /// Like [`FlowNet::cancel_flow`], but returns the cancelled flow's
+    /// tag (see [`FlowNet::add_flow_tagged`]) so the caller can release
+    /// per-flow bookkeeping without a lookup. `None` when the flow is
+    /// unknown or already complete.
+    pub fn cancel_flow_tagged(&mut self, id: FlowId) -> Option<u64> {
+        let pos = self.flows.iter().position(|f| f.id == id)?;
+        let flow = self.flows.remove(pos);
+        self.seeds.clear();
+        self.seeds.extend(flow.path.iter().map(|l| l.0));
+        self.rerate_from_seeds();
+        Some(flow.tag)
     }
 
     /// Per-link aggregate load: `(link index, total rate in bytes/sec,
@@ -163,6 +217,29 @@ impl FlowNet {
             .collect()
     }
 
+    /// Allocation-free [`FlowNet::link_loads`]: clears `out` and fills it
+    /// using internal scratch buffers (the probe hot path calls this
+    /// after every rate change).
+    pub fn link_loads_into(&mut self, out: &mut Vec<(usize, f64, usize)>) {
+        out.clear();
+        let n = self.links.len();
+        self.loads_rate.clear();
+        self.loads_rate.resize(n, 0.0);
+        self.loads_count.clear();
+        self.loads_count.resize(n, 0);
+        for f in &self.flows {
+            for l in &f.path {
+                self.loads_rate[l.0] += f.rate;
+                self.loads_count[l.0] += 1;
+            }
+        }
+        for i in 0..n {
+            if self.loads_count[i] > 0 {
+                out.push((i, self.loads_rate[i], self.loads_count[i]));
+            }
+        }
+    }
+
     /// Starts a flow of `bytes` across `path` and returns its id.
     ///
     /// A flow with no remaining bytes (or an empty path) completes at the
@@ -176,6 +253,13 @@ impl FlowNet {
     /// Panics if `bytes` is negative/non-finite or `path` names an unknown
     /// link.
     pub fn add_flow(&mut self, bytes: f64, path: Vec<LinkId>) -> FlowId {
+        self.add_flow_tagged(bytes, path, NO_TAG)
+    }
+
+    /// Like [`FlowNet::add_flow`], with an opaque `tag` reported back by
+    /// [`FlowNet::drain_completed_into`] and
+    /// [`FlowNet::cancel_flow_tagged`]. Use [`NO_TAG`] for none.
+    pub fn add_flow_tagged(&mut self, bytes: f64, path: Vec<LinkId>, tag: u64) -> FlowId {
         assert!(bytes.is_finite() && bytes >= 0.0, "flow bytes invalid");
         for l in &path {
             assert!(l.0 < self.links.len(), "unknown link in path");
@@ -183,17 +267,20 @@ impl FlowNet {
         let id = FlowId(self.next_flow_id);
         self.next_flow_id += 1;
         if bytes <= DONE_EPS || path.is_empty() {
-            self.completed.push(id);
+            self.completed.push((id, tag));
             return id;
         }
+        self.seeds.clear();
+        self.seeds.extend(path.iter().map(|l| l.0));
         self.flows.push(Flow {
             id,
+            tag,
             remaining: bytes,
             path,
             rate: 0.0,
             stalled: false,
         });
-        self.recompute_rates();
+        self.rerate_from_seeds();
         id
     }
 
@@ -204,10 +291,13 @@ impl FlowNet {
     /// The caller must have called [`FlowNet::advance`] to the current
     /// time first.
     pub fn freeze_flow(&mut self, id: FlowId) -> bool {
-        match self.flows.iter_mut().find(|f| f.id == id) {
-            Some(f) if !f.stalled => {
-                f.stalled = true;
-                self.recompute_rates();
+        match self.flows.iter().position(|f| f.id == id) {
+            Some(i) if !self.flows[i].stalled => {
+                self.flows[i].stalled = true;
+                self.seeds.clear();
+                let (flows, seeds) = (&self.flows, &mut self.seeds);
+                seeds.extend(flows[i].path.iter().map(|l| l.0));
+                self.rerate_from_seeds();
                 true
             }
             _ => false,
@@ -221,10 +311,13 @@ impl FlowNet {
     /// The caller must have called [`FlowNet::advance`] to the current
     /// time first.
     pub fn unfreeze_flow(&mut self, id: FlowId) -> bool {
-        match self.flows.iter_mut().find(|f| f.id == id) {
-            Some(f) if f.stalled => {
-                f.stalled = false;
-                self.recompute_rates();
+        match self.flows.iter().position(|f| f.id == id) {
+            Some(i) if self.flows[i].stalled => {
+                self.flows[i].stalled = false;
+                self.seeds.clear();
+                let (flows, seeds) = (&self.flows, &mut self.seeds);
+                seeds.extend(flows[i].path.iter().map(|l| l.0));
+                self.rerate_from_seeds();
                 true
             }
             _ => false,
@@ -266,24 +359,30 @@ impl FlowNet {
                 self.links[l.0].carried += moved;
             }
         }
-        let mut any_done = false;
+        self.seeds.clear();
         self.flows.retain(|f| {
             if f.remaining <= DONE_EPS {
-                self.completed.push(f.id);
-                any_done = true;
+                self.completed.push((f.id, f.tag));
+                self.seeds.extend(f.path.iter().map(|l| l.0));
                 false
             } else {
                 true
             }
         });
-        if any_done {
-            self.recompute_rates();
+        if !self.seeds.is_empty() {
+            self.rerate_from_seeds();
         }
     }
 
     /// Takes the list of flows that completed since the last call.
     pub fn take_completed(&mut self) -> Vec<FlowId> {
-        std::mem::take(&mut self.completed)
+        self.completed.drain(..).map(|(id, _)| id).collect()
+    }
+
+    /// Drains `(flow id, tag)` pairs for every completion since the last
+    /// drain into `out` (appending), without allocating.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<(FlowId, u64)>) {
+        out.append(&mut self.completed);
     }
 
     /// The earliest future instant at which some active flow completes,
@@ -305,36 +404,211 @@ impl FlowNet {
         best.map(|secs| now + SimDur::from_secs_f64(secs))
     }
 
-    /// Recomputes max-min-fair rates with progressive water-filling.
+    /// Re-rates after a mutation whose directly touched links are in
+    /// `self.seeds`: restricts the water-filling to the connected
+    /// component those links belong to, or falls back to the full solve.
+    ///
+    /// The restricted solve is *exactly* the full solve projected onto
+    /// one component — same residuals, same freezing order, same
+    /// floating-point operation sequence — because no flow outside the
+    /// component crosses a component link (that is what "component"
+    /// means here). Debug builds verify bit-equality against the full
+    /// solver on every call.
+    fn rerate_from_seeds(&mut self) {
+        if self.force_full_rerate || self.flows.is_empty() {
+            self.recompute_rates();
+            return;
+        }
+        self.collect_component();
+        self.water_fill_component();
+        #[cfg(debug_assertions)]
+        self.assert_matches_full_solve();
+    }
+
+    /// Expands `self.seeds` into the connected component of links and
+    /// flows containing them: `self.comp_flows` gets the member flow
+    /// indices in ascending order, `self.link_mark` the member links.
+    fn collect_component(&mut self) {
+        let nl = self.links.len();
+        let nf = self.flows.len();
+        // Rebuild the link → flows adjacency. Inner vectors keep their
+        // capacity, so this settles into zero allocations.
+        self.adj.resize_with(nl, Vec::new);
+        for a in &mut self.adj {
+            a.clear();
+        }
+        for (fi, f) in self.flows.iter().enumerate() {
+            for l in &f.path {
+                self.adj[l.0].push(fi as u32);
+            }
+        }
+        self.link_mark.clear();
+        self.link_mark.resize(nl, false);
+        self.in_comp.clear();
+        self.in_comp.resize(nf, false);
+        self.comp_flows.clear();
+        self.bfs.clear();
+        for i in 0..self.seeds.len() {
+            let l = self.seeds[i];
+            if !self.link_mark[l] {
+                self.link_mark[l] = true;
+                self.bfs.push(l);
+            }
+        }
+        while let Some(l) = self.bfs.pop() {
+            for j in 0..self.adj[l].len() {
+                let fi = self.adj[l][j] as usize;
+                if self.in_comp[fi] {
+                    continue;
+                }
+                self.in_comp[fi] = true;
+                self.comp_flows.push(fi as u32);
+                let (flows, link_mark, bfs) = (&self.flows, &mut self.link_mark, &mut self.bfs);
+                for pl in &flows[fi].path {
+                    if !link_mark[pl.0] {
+                        link_mark[pl.0] = true;
+                        bfs.push(pl.0);
+                    }
+                }
+            }
+        }
+        // Freezing order inside a round is flow-index order; keep it.
+        self.comp_flows.sort_unstable();
+    }
+
+    /// Progressive water-filling restricted to the current component.
+    /// Mirrors [`FlowNet::recompute_rates`] exactly, iterating links via
+    /// `link_mark` and flows via `comp_flows`.
+    fn water_fill_component(&mut self) {
+        let nl = self.links.len();
+        self.residual.clear();
+        self.residual.resize(nl, 0.0);
+        self.unfrozen_per_link.clear();
+        self.unfrozen_per_link.resize(nl, 0);
+        self.frozen.clear();
+        self.frozen.resize(self.flows.len(), false);
+        for l in 0..nl {
+            if self.link_mark[l] {
+                self.residual[l] = self.links[l].capacity;
+            }
+        }
+        let mut remaining_flows = 0usize;
+        for &fi in &self.comp_flows {
+            let f = &mut self.flows[fi as usize];
+            f.rate = 0.0;
+            self.frozen[fi as usize] = f.stalled;
+            if f.stalled {
+                continue;
+            }
+            remaining_flows += 1;
+            for l in &f.path {
+                self.unfrozen_per_link[l.0] += 1;
+            }
+        }
+        while remaining_flows > 0 {
+            let mut share = f64::INFINITY;
+            for i in 0..nl {
+                if self.unfrozen_per_link[i] > 0 {
+                    share = share.min(self.residual[i] / self.unfrozen_per_link[i] as f64);
+                }
+            }
+            if !share.is_finite() {
+                break;
+            }
+            let mut froze_any = false;
+            for ci in 0..self.comp_flows.len() {
+                let fi = self.comp_flows[ci] as usize;
+                if self.frozen[fi] {
+                    continue;
+                }
+                let is_bottlenecked = self.flows[fi].path.iter().any(|l| {
+                    self.unfrozen_per_link[l.0] > 0
+                        && (self.residual[l.0] / self.unfrozen_per_link[l.0] as f64)
+                            <= share * (1.0 + 1e-12)
+                });
+                if is_bottlenecked {
+                    self.frozen[fi] = true;
+                    froze_any = true;
+                    remaining_flows -= 1;
+                    self.flows[fi].rate = share;
+                    let (flows, residual, unfrozen) =
+                        (&self.flows, &mut self.residual, &mut self.unfrozen_per_link);
+                    for l in &flows[fi].path {
+                        residual[l.0] = (residual[l.0] - share).max(0.0);
+                        unfrozen[l.0] -= 1;
+                    }
+                }
+            }
+            if !froze_any {
+                // Numerical safety valve: freeze everything at `share`.
+                for ci in 0..self.comp_flows.len() {
+                    let fi = self.comp_flows[ci] as usize;
+                    if !self.frozen[fi] {
+                        self.frozen[fi] = true;
+                        remaining_flows -= 1;
+                        self.flows[fi].rate = share;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug-build differential check: the incremental solve must leave
+    /// every flow at the exact rate the from-scratch solver produces.
+    #[cfg(debug_assertions)]
+    fn assert_matches_full_solve(&mut self) {
+        let incremental: Vec<(FlowId, f64)> = self.flows.iter().map(|f| (f.id, f.rate)).collect();
+        self.recompute_rates();
+        for (f, &(id, inc)) in self.flows.iter().zip(incremental.iter()) {
+            assert!(
+                f.rate.to_bits() == inc.to_bits(),
+                "incremental re-rate diverged from full solve for flow {:?}: \
+                 incremental {inc:e} vs full {:e}",
+                id,
+                f.rate,
+            );
+        }
+    }
+
+    /// Recomputes max-min-fair rates with progressive water-filling
+    /// (the from-scratch solver; see [`FlowNet::rerate_from_seeds`] for
+    /// the incremental entry point).
     fn recompute_rates(&mut self) {
         let n = self.flows.len();
         if n == 0 {
             return;
         }
-        let mut residual: Vec<f64> = self.links.iter().map(|l| l.capacity).collect();
-        let mut unfrozen_per_link: Vec<usize> = vec![0; self.links.len()];
+        let nl = self.links.len();
+        self.residual.clear();
+        self.residual.extend(self.links.iter().map(|l| l.capacity));
+        self.unfrozen_per_link.clear();
+        self.unfrozen_per_link.resize(nl, 0);
         // Stalled flows start (and stay) frozen at rate 0 and do not
         // count toward any link's fair share.
-        let mut frozen: Vec<bool> = self.flows.iter().map(|f| f.stalled).collect();
+        self.frozen.clear();
+        self.frozen.extend(self.flows.iter().map(|f| f.stalled));
         for f in &mut self.flows {
             f.rate = 0.0;
         }
-        for f in &self.flows {
-            if f.stalled {
-                continue;
-            }
-            for l in &f.path {
-                unfrozen_per_link[l.0] += 1;
+        {
+            let (flows, unfrozen) = (&self.flows, &mut self.unfrozen_per_link);
+            for f in flows {
+                if f.stalled {
+                    continue;
+                }
+                for l in &f.path {
+                    unfrozen[l.0] += 1;
+                }
             }
         }
-        let mut remaining_flows = n - frozen.iter().filter(|&&b| b).count();
+        let mut remaining_flows = n - self.frozen.iter().filter(|&&b| b).count();
         while remaining_flows > 0 {
             // The bottleneck link is the one offering the smallest fair
             // share to its unfrozen flows.
             let mut share = f64::INFINITY;
-            for i in 0..self.links.len() {
-                if unfrozen_per_link[i] > 0 {
-                    share = share.min(residual[i] / unfrozen_per_link[i] as f64);
+            for i in 0..nl {
+                if self.unfrozen_per_link[i] > 0 {
+                    share = share.min(self.residual[i] / self.unfrozen_per_link[i] as f64);
                 }
             }
             if !share.is_finite() {
@@ -342,30 +616,33 @@ impl FlowNet {
             }
             // Freeze every unfrozen flow crossing a bottleneck at `share`.
             let mut froze_any = false;
-            for (fi, frz) in frozen.iter_mut().enumerate() {
-                if *frz {
+            for fi in 0..n {
+                if self.frozen[fi] {
                     continue;
                 }
                 let is_bottlenecked = self.flows[fi].path.iter().any(|l| {
-                    unfrozen_per_link[l.0] > 0
-                        && (residual[l.0] / unfrozen_per_link[l.0] as f64) <= share * (1.0 + 1e-12)
+                    self.unfrozen_per_link[l.0] > 0
+                        && (self.residual[l.0] / self.unfrozen_per_link[l.0] as f64)
+                            <= share * (1.0 + 1e-12)
                 });
                 if is_bottlenecked {
-                    *frz = true;
+                    self.frozen[fi] = true;
                     froze_any = true;
                     remaining_flows -= 1;
                     self.flows[fi].rate = share;
-                    for l in &self.flows[fi].path {
+                    let (flows, residual, unfrozen) =
+                        (&self.flows, &mut self.residual, &mut self.unfrozen_per_link);
+                    for l in &flows[fi].path {
                         residual[l.0] = (residual[l.0] - share).max(0.0);
-                        unfrozen_per_link[l.0] -= 1;
+                        unfrozen[l.0] -= 1;
                     }
                 }
             }
             if !froze_any {
                 // Numerical safety valve: freeze everything at `share`.
-                for (fi, frz) in frozen.iter_mut().enumerate() {
-                    if !*frz {
-                        *frz = true;
+                for fi in 0..n {
+                    if !self.frozen[fi] {
+                        self.frozen[fi] = true;
                         remaining_flows -= 1;
                         self.flows[fi].rate = share;
                     }

@@ -718,7 +718,7 @@ impl MetricsSink {
     /// probed run. Keep the returned handle to export metrics after.
     pub fn probe(spec: MetricsSpec) -> (Probe, Rc<RefCell<MetricsSink>>) {
         let sink = Rc::new(RefCell::new(MetricsSink::new(spec)));
-        (Probe::with_sink(sink.clone()), sink)
+        (Probe::with_metrics(sink.clone()), sink)
     }
 
     fn kind_of(&self, instance: usize) -> usize {

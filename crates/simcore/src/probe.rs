@@ -608,13 +608,26 @@ impl EventSink for EventLog {
     }
 }
 
+/// The sink attached to an enabled [`Probe`].
+///
+/// The two sinks the engine itself constructs ([`EventLog`] and
+/// [`MetricsSink`](crate::metrics::MetricsSink)) get dedicated variants so
+/// the emit hot path is a direct (devirtualized) call; external sinks
+/// still dispatch through `dyn EventSink`.
+#[derive(Clone)]
+enum SinkHandle {
+    Log(Rc<RefCell<EventLog>>),
+    Metrics(Rc<RefCell<crate::metrics::MetricsSink>>),
+    Dyn(Rc<RefCell<dyn EventSink>>),
+}
+
 /// A cloneable handle onto an optional [`EventSink`].
 ///
 /// The default (disabled) probe drops every emission without
 /// constructing anything. Clones share the same sink.
 #[derive(Clone, Default)]
 pub struct Probe {
-    sink: Option<Rc<RefCell<dyn EventSink>>>,
+    sink: Option<SinkHandle>,
 }
 
 impl fmt::Debug for Probe {
@@ -634,15 +647,30 @@ impl Probe {
     /// A probe recording into a fresh [`EventLog`]; returns both.
     pub fn logging() -> (Self, Rc<RefCell<EventLog>>) {
         let log = Rc::new(RefCell::new(EventLog::new()));
-        let probe = Probe {
-            sink: Some(log.clone() as Rc<RefCell<dyn EventSink>>),
-        };
-        (probe, log)
+        (Probe::with_log(log.clone()), log)
     }
 
-    /// A probe publishing into an arbitrary sink.
+    /// A probe recording into an existing shared [`EventLog`]. Uses the
+    /// devirtualized fast path.
+    pub fn with_log(log: Rc<RefCell<EventLog>>) -> Self {
+        Probe {
+            sink: Some(SinkHandle::Log(log)),
+        }
+    }
+
+    /// A probe feeding a [`MetricsSink`](crate::metrics::MetricsSink).
+    /// Uses the devirtualized fast path.
+    pub fn with_metrics(sink: Rc<RefCell<crate::metrics::MetricsSink>>) -> Self {
+        Probe {
+            sink: Some(SinkHandle::Metrics(sink)),
+        }
+    }
+
+    /// A probe publishing into an arbitrary sink (dynamic dispatch).
     pub fn with_sink(sink: Rc<RefCell<dyn EventSink>>) -> Self {
-        Probe { sink: Some(sink) }
+        Probe {
+            sink: Some(SinkHandle::Dyn(sink)),
+        }
     }
 
     /// Whether a sink is attached. Producers may use this to skip
@@ -655,8 +683,11 @@ impl Probe {
     /// Publishes one event (no-op when disabled).
     #[inline]
     pub fn emit(&self, at: SimTime, what: ProbeEvent) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(at, what);
+        match &self.sink {
+            None => {}
+            Some(SinkHandle::Log(log)) => log.borrow_mut().events.push(Event { at, what }),
+            Some(SinkHandle::Metrics(sink)) => sink.borrow_mut().record(at, what),
+            Some(SinkHandle::Dyn(sink)) => sink.borrow_mut().record(at, what),
         }
     }
 }

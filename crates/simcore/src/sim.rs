@@ -5,10 +5,17 @@
 //! context exposes the current simulated time and lets handlers schedule
 //! further events. Ties in time are broken by insertion order, which keeps
 //! runs fully deterministic.
+//!
+//! The queue is a bucketed [`CalendarQueue`]: near-future events hash into
+//! a ring of time buckets popped in O(1) amortized, far-future events wait
+//! in an overflow heap that drains as the ring rotates. The total order is
+//! `(timestamp, sequence number)` — identical to the binary heap this
+//! replaced, so schedules are byte-for-byte reproducible across kernels.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use crate::slab::Slab;
 use crate::time::{SimDur, SimTime};
 
 /// A one-shot event handler.
@@ -25,13 +32,6 @@ pub struct Ctx<S> {
 }
 
 impl<S> Ctx<S> {
-    fn new(now: SimTime) -> Self {
-        Ctx {
-            now,
-            pending: Vec::new(),
-        }
-    }
-
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -51,8 +51,9 @@ impl<S> Ctx<S> {
     }
 }
 
+#[derive(Clone, Copy, Debug)]
 struct Entry {
-    at: SimTime,
+    at: u64,
     seq: u64,
     slot: usize,
 }
@@ -71,6 +72,199 @@ impl PartialOrd for Entry {
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Default bucket width: 2^15 ns ≈ 33 µs, on the order of the mean event
+/// gap in the fig15 serving workload (180 s / ~5M events).
+const DEFAULT_WIDTH_NS: u64 = 1 << 15;
+/// Default ring size (must be a power of two): 4096 buckets ≈ 134 ms of
+/// near-future horizon before events spill to the overflow heap.
+const DEFAULT_BUCKETS: usize = 1 << 12;
+
+/// A calendar queue over `(timestamp, seq, payload)` entries.
+///
+/// Layout: a power-of-two ring of buckets, each `width` nanoseconds wide,
+/// covering the window `[cur_base, cur_base + width·nbuckets)`. An entry
+/// inside the window lives in bucket `(at / width) mod nbuckets`; entries
+/// at or beyond the horizon wait in an overflow heap and migrate into the
+/// ring as it rotates. Every container orders entries by `(at, seq)`, so
+/// pops follow the exact total order of a single binary heap — FIFO at
+/// equal timestamps as long as callers hand out increasing `seq` values.
+///
+/// The structure is deterministic by construction: for a fixed push
+/// sequence the pop sequence is a pure function of `(at, seq)` pairs,
+/// independent of bucket geometry. `crates/simcore/tests/prop_queue.rs`
+/// differential-tests this against a reference `BinaryHeap`.
+pub struct CalendarQueue {
+    buckets: Vec<BinaryHeap<Reverse<Entry>>>,
+    mask: usize,
+    width: u64,
+    /// Index of the bucket whose window starts at `cur_base`.
+    cur: usize,
+    /// Start of the current bucket's window. Never exceeds the timestamp
+    /// of any queued entry.
+    cur_base: u64,
+    /// `cur_base + width·nbuckets`, saturating. Entries at or beyond it
+    /// go to `overflow`.
+    horizon: u64,
+    overflow: BinaryHeap<Reverse<Entry>>,
+    /// Entries currently resident in the ring.
+    in_buckets: usize,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::with_config(DEFAULT_WIDTH_NS, DEFAULT_BUCKETS)
+    }
+}
+
+impl CalendarQueue {
+    /// Creates a queue with the default geometry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a queue with `width_ns`-wide buckets and `nbuckets` slots
+    /// (rounded up to a power of two). Exposed so tests can force tiny
+    /// geometries that exercise ring wraparound and overflow migration.
+    pub fn with_config(width_ns: u64, nbuckets: usize) -> Self {
+        let width = width_ns.max(1);
+        let n = nbuckets.max(1).next_power_of_two();
+        let mut buckets = Vec::with_capacity(n);
+        buckets.resize_with(n, BinaryHeap::new);
+        CalendarQueue {
+            buckets,
+            mask: n - 1,
+            width,
+            cur: 0,
+            cur_base: 0,
+            horizon: Self::horizon_from(0, width, n),
+            overflow: BinaryHeap::new(),
+            in_buckets: 0,
+        }
+    }
+
+    fn horizon_from(base: u64, width: u64, n: usize) -> u64 {
+        base.saturating_add(width.saturating_mul(n as u64))
+    }
+
+    /// Total queued entries.
+    pub fn len(&self) -> usize {
+        self.in_buckets + self.overflow.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pushes an entry. `at` must not precede the most recently popped
+    /// timestamp (the simulator clamps to "now" before calling); `seq`
+    /// must be unique and is the FIFO tie-breaker at equal timestamps.
+    pub fn push(&mut self, at: SimTime, seq: u64, slot: usize) {
+        let at = at.as_nanos();
+        debug_assert!(at >= self.cur_base, "push into the past");
+        let e = Entry { at, seq, slot };
+        if at >= self.horizon {
+            self.overflow.push(Reverse(e));
+        } else {
+            let b = ((at / self.width) as usize) & self.mask;
+            self.buckets[b].push(Reverse(e));
+            self.in_buckets += 1;
+        }
+    }
+
+    /// Pops the minimum entry by `(at, seq)`.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, usize)> {
+        self.pop_at_most(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Pops the minimum entry if its timestamp is `<= deadline`; leaves
+    /// the queue untouched (up to internal re-basing) otherwise.
+    pub fn pop_at_most(&mut self, deadline: SimTime) -> Option<(SimTime, u64, usize)> {
+        let deadline = deadline.as_nanos();
+        loop {
+            if self.in_buckets == 0 {
+                // Ring empty: the next event (if any) is in overflow.
+                let &Reverse(peek) = self.overflow.peek()?;
+                if peek.at > deadline {
+                    return None;
+                }
+                // Re-base the ring onto the earliest overflow window and
+                // migrate everything now inside the horizon.
+                self.rebase(peek.at);
+                if self.in_buckets == 0 {
+                    // Horizon saturated at u64::MAX: serve straight from
+                    // the (fully ordered) overflow heap.
+                    let Reverse(e) = self.overflow.pop().expect("peeked entry vanished");
+                    return Some((SimTime::from_nanos(e.at), e.seq, e.slot));
+                }
+                continue;
+            }
+            if let Some(&Reverse(head)) = self.buckets[self.cur].peek() {
+                // Ring invariant: every resident entry lies in
+                // [cur_base, horizon), and all entries of the current
+                // window share this bucket — its head is the global min.
+                debug_assert!(head.at < self.cur_base.saturating_add(self.width));
+                if head.at > deadline {
+                    return None;
+                }
+                let Reverse(e) = self.buckets[self.cur].pop().expect("peeked entry vanished");
+                self.in_buckets -= 1;
+                return Some((SimTime::from_nanos(e.at), e.seq, e.slot));
+            }
+            // Current window empty: rotate to the next one — but never
+            // past the deadline, so a `None` return always leaves the
+            // ring able to accept pushes at any time >= the deadline
+            // (the simulator clamps pushes to "now", which is the
+            // deadline after an exhausted `run_until`). Bounded by the
+            // ring size because some resident entry is below the horizon.
+            if self.cur_base.saturating_add(self.width) > deadline {
+                return None;
+            }
+            self.cur = (self.cur + 1) & self.mask;
+            self.cur_base = self.cur_base.saturating_add(self.width);
+            self.horizon = self.horizon.saturating_add(self.width);
+            self.drain_overflow();
+        }
+    }
+
+    /// The minimum queued timestamp, if any. O(ring size) worst case;
+    /// meant for idle-time inspection, not the hot pop path.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        if self.in_buckets > 0 {
+            for i in 0..=self.mask {
+                let b = (self.cur + i) & self.mask;
+                if let Some(&Reverse(head)) = self.buckets[b].peek() {
+                    return Some(SimTime::from_nanos(head.at));
+                }
+            }
+        }
+        self.overflow
+            .peek()
+            .map(|&Reverse(e)| SimTime::from_nanos(e.at))
+    }
+
+    /// Jumps the ring so its current window contains `at`.
+    fn rebase(&mut self, at: u64) {
+        self.cur_base = at - at % self.width;
+        self.cur = ((at / self.width) as usize) & self.mask;
+        self.horizon = Self::horizon_from(self.cur_base, self.width, self.mask + 1);
+        self.drain_overflow();
+    }
+
+    /// Moves overflow entries that fell inside the horizon into the ring.
+    fn drain_overflow(&mut self) {
+        while let Some(&Reverse(e)) = self.overflow.peek() {
+            if e.at >= self.horizon {
+                break;
+            }
+            self.overflow.pop();
+            let b = ((e.at / self.width) as usize) & self.mask;
+            self.buckets[b].push(Reverse(e));
+            self.in_buckets += 1;
+        }
     }
 }
 
@@ -93,9 +287,11 @@ impl Ord for Entry {
 pub struct Sim<S> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Entry>>,
-    handlers: Vec<Option<EventFn<S>>>,
-    free: Vec<usize>,
+    queue: CalendarQueue,
+    handlers: Slab<EventFn<S>>,
+    /// Recycled `Ctx::pending` buffer: one allocation for the whole run
+    /// instead of one per event.
+    scratch: Vec<(SimTime, EventFn<S>)>,
     executed: u64,
     state: S,
 }
@@ -106,9 +302,9 @@ impl<S> Sim<S> {
         Sim {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
-            handlers: Vec::new(),
-            free: Vec::new(),
+            queue: CalendarQueue::new(),
+            handlers: Slab::new(),
+            scratch: Vec::new(),
             executed: 0,
             state,
         }
@@ -138,21 +334,8 @@ impl<S> Sim<S> {
     /// Schedules an event at absolute time `at` (clamped to now).
     pub fn schedule_at(&mut self, at: SimTime, f: EventFn<S>) {
         let at = at.max(self.now);
-        let slot = match self.free.pop() {
-            Some(i) => {
-                self.handlers[i] = Some(f);
-                i
-            }
-            None => {
-                self.handlers.push(Some(f));
-                self.handlers.len() - 1
-            }
-        };
-        self.heap.push(Reverse(Entry {
-            at,
-            seq: self.seq,
-            slot,
-        }));
+        let slot = self.handlers.insert(f);
+        self.queue.push(at, self.seq, slot);
         self.seq += 1;
     }
 
@@ -170,13 +353,8 @@ impl<S> Sim<S> {
     /// Runs events with timestamps `<= deadline`; the clock ends at
     /// `max(now, deadline)` even if the queue drains earlier.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
-        loop {
-            match self.peek_time() {
-                Some(t) if t <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
+        while let Some((at, _, slot)) = self.queue.pop_at_most(deadline) {
+            self.exec(at, slot);
         }
         self.now = self.now.max(deadline);
         self.now
@@ -184,12 +362,12 @@ impl<S> Sim<S> {
 
     /// The timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.at)
+        self.queue.peek_time()
     }
 
     /// Number of events currently queued.
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.queue.len()
     }
 
     /// Total events executed since construction (perf-harness metric).
@@ -198,21 +376,27 @@ impl<S> Sim<S> {
     }
 
     fn step(&mut self) -> bool {
-        let Some(Reverse(entry)) = self.heap.pop() else {
+        let Some((at, _, slot)) = self.queue.pop() else {
             return false;
         };
-        let f = self.handlers[entry.slot]
-            .take()
-            .expect("handler fired twice");
-        self.free.push(entry.slot);
+        self.exec(at, slot);
+        true
+    }
+
+    fn exec(&mut self, at: SimTime, slot: usize) {
+        let f = self.handlers.remove(slot).expect("handler fired twice");
         self.executed += 1;
-        self.now = entry.at;
-        let mut ctx = Ctx::new(self.now);
+        self.now = at;
+        let mut ctx = Ctx {
+            now: self.now,
+            pending: std::mem::take(&mut self.scratch),
+        };
         f(&mut self.state, &mut ctx);
-        for (at, g) in ctx.pending {
+        let mut pending = ctx.pending;
+        for (at, g) in pending.drain(..) {
             self.schedule_at(at, g);
         }
-        true
+        self.scratch = pending;
     }
 }
 
@@ -288,6 +472,78 @@ mod tests {
         }
         assert_eq!(*sim.state(), 100);
         // All hundred events reused a single slot.
-        assert!(sim.handlers.len() <= 2);
+        assert!(sim.handlers.capacity() <= 2);
+    }
+
+    #[test]
+    fn far_future_events_survive_overflow_migration() {
+        // Events far past the default horizon (~134 ms) park in the
+        // overflow heap and must still fire in order.
+        let mut sim = Sim::new(Vec::<u64>::new());
+        for &ns in &[2_000_000_000u64, 5, 500_000_000, 1, 2_000_000_000] {
+            sim.schedule_at(
+                SimTime::from_nanos(ns),
+                Box::new(|v: &mut Vec<u64>, ctx| v.push(ctx.now().as_nanos())),
+            );
+        }
+        sim.run_until_idle();
+        assert_eq!(
+            sim.state(),
+            &vec![1, 5, 500_000_000, 2_000_000_000, 2_000_000_000]
+        );
+    }
+
+    #[test]
+    fn run_until_deadline_far_past_horizon_then_resume() {
+        // A deadline jump far beyond the ring's horizon must not corrupt
+        // ordering for events scheduled after the jump.
+        let mut sim = Sim::new(Vec::<u64>::new());
+        sim.run_until(SimTime::from_nanos(3600 * 1_000_000_000));
+        sim.schedule_in(
+            SimDur::from_nanos(10),
+            Box::new(|v: &mut Vec<u64>, ctx| v.push(ctx.now().as_nanos())),
+        );
+        sim.schedule_in(
+            SimDur::from_nanos(5),
+            Box::new(|v: &mut Vec<u64>, ctx| v.push(ctx.now().as_nanos())),
+        );
+        sim.run_until_idle();
+        let base = 3600u64 * 1_000_000_000;
+        assert_eq!(sim.state(), &vec![base + 5, base + 10]);
+    }
+
+    #[test]
+    fn calendar_queue_orders_across_tiny_ring() {
+        // A 2-bucket, 4 ns ring forces constant rotation, wraparound and
+        // overflow traffic.
+        let mut q = CalendarQueue::with_config(4, 2);
+        let times = [0u64, 3, 4, 7, 8, 100, 101, 9, 2, 1_000_000, 5];
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), seq as u64, seq);
+        }
+        assert_eq!(q.len(), times.len());
+        let mut sorted: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .map(|(seq, &t)| (t, seq as u64))
+            .collect();
+        sorted.sort_unstable();
+        let mut popped = Vec::new();
+        while let Some((at, seq, _)) = q.pop() {
+            popped.push((at.as_nanos(), seq));
+        }
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn calendar_queue_handles_u64_extremes() {
+        let mut q = CalendarQueue::with_config(1 << 20, 8);
+        q.push(SimTime::from_nanos(u64::MAX), 0, 0);
+        q.push(SimTime::from_nanos(u64::MAX - 1), 1, 1);
+        q.push(SimTime::from_nanos(7), 2, 2);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), 7);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), u64::MAX - 1);
+        assert_eq!(q.pop().unwrap().0.as_nanos(), u64::MAX);
+        assert!(q.pop().is_none());
     }
 }

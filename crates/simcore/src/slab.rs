@@ -89,6 +89,12 @@ impl<T> Slab<T> {
         self.len
     }
 
+    /// Number of slots ever allocated (occupied + recyclable). A bounded
+    /// capacity under churn is the sign that recycling works.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// Whether the slab holds no values.
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -114,6 +120,132 @@ impl<T> std::ops::Index<usize> for Slab<T> {
 impl<T> std::ops::IndexMut<usize> for Slab<T> {
     fn index_mut(&mut self, key: usize) -> &mut T {
         self.get_mut(key).expect("vacant slab slot")
+    }
+}
+
+/// A key into a [`GenSlab`]: slot index plus the generation it was
+/// issued under. A key goes stale the moment its slot is removed, so
+/// dangling handles read as `None` instead of aliasing a recycled slot.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GenKey {
+    idx: u32,
+    gen: u32,
+}
+
+/// A generational slab: like [`Slab`], but removal bumps the slot's
+/// generation so stale keys can never observe a later occupant.
+///
+/// This is what long-lived cross-event handles (e.g. hedged-transfer
+/// races referenced from several scheduled closures) use instead of
+/// `Rc<RefCell<..>>`: the handle is `Copy`, and the ABA hazard of a
+/// recycled slot is caught by the generation check.
+///
+/// # Examples
+///
+/// ```
+/// use simcore::slab::GenSlab;
+///
+/// let mut slab = GenSlab::new();
+/// let a = slab.insert("alpha");
+/// assert_eq!(slab.get(a), Some(&"alpha"));
+/// assert_eq!(slab.remove(a), Some("alpha"));
+/// let b = slab.insert("beta"); // Reuses the slot...
+/// assert_eq!(slab.get(a), None); // ...but the old key stays dead.
+/// assert_eq!(slab.get(b), Some(&"beta"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct GenSlab<T> {
+    slots: Vec<(u32, Option<T>)>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for GenSlab<T> {
+    fn default() -> Self {
+        GenSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+}
+
+impl<T> GenSlab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a value, returning a generational key for it.
+    pub fn insert(&mut self, value: T) -> GenKey {
+        self.len += 1;
+        match self.free.pop() {
+            Some(i) => {
+                let slot = &mut self.slots[i as usize];
+                slot.1 = Some(value);
+                GenKey {
+                    idx: i,
+                    gen: slot.0,
+                }
+            }
+            None => {
+                assert!(self.slots.len() < u32::MAX as usize, "GenSlab overflow");
+                self.slots.push((0, Some(value)));
+                GenKey {
+                    idx: (self.slots.len() - 1) as u32,
+                    gen: 0,
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the value at `key`, if still live. The slot's
+    /// generation is bumped so every outstanding copy of `key` dies.
+    pub fn remove(&mut self, key: GenKey) -> Option<T> {
+        let slot = self.slots.get_mut(key.idx as usize)?;
+        if slot.0 != key.gen {
+            return None;
+        }
+        let v = slot.1.take();
+        if v.is_some() {
+            slot.0 = slot.0.wrapping_add(1);
+            self.free.push(key.idx);
+            self.len -= 1;
+        }
+        v
+    }
+
+    /// Shared access to the value at `key`, if still live.
+    pub fn get(&self, key: GenKey) -> Option<&T> {
+        let slot = self.slots.get(key.idx as usize)?;
+        if slot.0 != key.gen {
+            return None;
+        }
+        slot.1.as_ref()
+    }
+
+    /// Exclusive access to the value at `key`, if still live.
+    pub fn get_mut(&mut self, key: GenKey) -> Option<&mut T> {
+        let slot = self.slots.get_mut(key.idx as usize)?;
+        if slot.0 != key.gen {
+            return None;
+        }
+        slot.1.as_mut()
+    }
+
+    /// Number of live values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of slots ever allocated (live + recyclable).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
     }
 }
 
@@ -162,5 +294,32 @@ mod tests {
         let a = s.insert(1);
         s.remove(a);
         let _ = s[a];
+    }
+
+    #[test]
+    fn gen_slab_basic_lifecycle() {
+        let mut s = GenSlab::new();
+        let a = s.insert(10);
+        let b = s.insert(20);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(a), Some(&10));
+        *s.get_mut(b).unwrap() += 1;
+        assert_eq!(s.remove(b), Some(21));
+        assert_eq!(s.remove(b), None, "double remove is a no-op");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn gen_slab_stale_keys_never_alias() {
+        let mut s = GenSlab::new();
+        let a = s.insert("old");
+        s.remove(a);
+        let b = s.insert("new");
+        // Same physical slot, different generation.
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.remove(a), None);
+        assert_eq!(s.get(b), Some(&"new"));
+        assert_eq!(s.capacity(), 1, "slot was recycled, not grown");
     }
 }

@@ -1,0 +1,221 @@
+//! Differential property tests: [`CalendarQueue`] against a reference
+//! `BinaryHeap` priority queue.
+//!
+//! The calendar queue replaced the simulator's binary heap on the hot
+//! path; its only contract is *identical pop order* — minimum `(at,
+//! seq)` first, so entries at equal timestamps come out in insertion
+//! (FIFO) order. These tests drive both implementations with the same
+//! randomized schedules — same-time bursts, far-future entries that
+//! must survive overflow migration, timestamps hugging bucket-width
+//! boundaries — across several ring geometries (including degenerate
+//! ones that force constant wraparound) and demand bit-identical
+//! behaviour, including under deadline-bounded pops.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use proptest::prelude::*;
+use simcore::time::SimTime;
+use simcore::CalendarQueue;
+
+/// Reference model: a plain binary heap over `(at, seq, slot)`, which
+/// is exactly the ordering the old simulator heap used.
+type RefHeap = BinaryHeap<Reverse<(u64, u64, usize)>>;
+
+/// Ring geometries under test: the production default, a tiny ring that
+/// wraps every few nanoseconds, a single-bucket ring (everything
+/// overflows), and a medium ring whose horizon the far-future times
+/// overshoot.
+fn queue_for(geometry: u8) -> (CalendarQueue, u64) {
+    match geometry % 4 {
+        0 => (CalendarQueue::new(), 1 << 15),
+        1 => (CalendarQueue::with_config(4, 2), 4),
+        2 => (CalendarQueue::with_config(1, 1), 1),
+        _ => (CalendarQueue::with_config(64, 16), 64),
+    }
+}
+
+/// Timestamps biased toward the interesting regimes: dense same-time
+/// bursts near zero, bucket-width boundaries (`k*width - 1`, `k*width`,
+/// `k*width + 1`), and far-future values beyond any tested horizon.
+fn arb_time(width: u64) -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..32,
+        (0u64..64, 0u64..3)
+            .prop_map(move |(k, off)| { (k * width).saturating_sub(1).saturating_add(off) }),
+        0u64..100_000,
+        (1u64..1 << 40).prop_map(|t| t.saturating_mul(1 << 20)),
+    ]
+}
+
+/// One scripted operation: push at a (clamped) time, or pop with a
+/// deadline some distance past "now".
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Push(u64),
+    PopAtMost(u64),
+    Pop,
+}
+
+fn arb_op(width: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        arb_time(width).prop_map(Op::Push),
+        arb_time(width).prop_map(Op::PopAtMost),
+        Just(Op::Pop),
+    ]
+}
+
+/// Drains both queues to the end, demanding identical pops.
+fn drain_and_compare(q: &mut CalendarQueue, model: &mut RefHeap) {
+    loop {
+        let got = q.pop();
+        let want = model.pop().map(|Reverse(e)| e);
+        prop_assert_eq!(
+            got.map(|(at, seq, slot)| (at.as_nanos(), seq, slot)),
+            want,
+            "drain diverged from reference heap"
+        );
+        if want.is_none() {
+            prop_assert!(q.is_empty());
+            return;
+        }
+    }
+}
+
+proptest! {
+    /// Push everything, then pop everything: pop order is exactly the
+    /// reference heap's `(at, seq)` order, so equal timestamps come out
+    /// FIFO by sequence number.
+    #[test]
+    fn push_all_pop_all_matches_reference(
+        geometry in 0u8..4,
+        times in prop::collection::vec(arb_time(64), 1..200),
+    ) {
+        let (mut q, _) = queue_for(geometry);
+        let mut model = RefHeap::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), seq as u64, seq);
+            model.push(Reverse((t, seq as u64, seq)));
+            prop_assert_eq!(q.len(), model.len());
+        }
+        drain_and_compare(&mut q, &mut model);
+    }
+
+    /// Interleaved pushes and (deadline-bounded) pops, with pushes
+    /// clamped to the last observed time exactly as the simulator clamps
+    /// `schedule_at` to "now". The calendar queue must agree with the
+    /// reference heap on every single pop, including `None`s at
+    /// deadlines that fall short of the next entry.
+    #[test]
+    fn interleaved_ops_match_reference(
+        geometry in 0u8..4,
+        ops in prop::collection::vec(arb_op(64), 1..300),
+    ) {
+        let (mut q, _) = queue_for(geometry);
+        let mut model = RefHeap::new();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for op in ops {
+            match op {
+                Op::Push(t) => {
+                    let at = t.max(now);
+                    q.push(SimTime::from_nanos(at), seq, seq as usize);
+                    model.push(Reverse((at, seq, seq as usize)));
+                    seq += 1;
+                }
+                Op::PopAtMost(dt) => {
+                    let deadline = now.saturating_add(dt);
+                    let got = q.pop_at_most(SimTime::from_nanos(deadline));
+                    let want = match model.peek() {
+                        Some(&Reverse((at, _, _))) if at <= deadline => {
+                            model.pop().map(|Reverse(e)| e)
+                        }
+                        _ => None,
+                    };
+                    prop_assert_eq!(
+                        got.map(|(at, s, slot)| (at.as_nanos(), s, slot)),
+                        want,
+                        "pop_at_most({}) diverged", deadline
+                    );
+                    // Mirror `run_until`: time advances to the popped
+                    // event, or to the deadline when nothing fired.
+                    now = match got {
+                        Some((at, _, _)) => at.as_nanos(),
+                        None => deadline,
+                    };
+                }
+                Op::Pop => {
+                    let got = q.pop();
+                    let want = model.pop().map(|Reverse(e)| e);
+                    prop_assert_eq!(
+                        got.map(|(at, s, slot)| (at.as_nanos(), s, slot)),
+                        want,
+                        "pop diverged"
+                    );
+                    if let Some((at, _, _)) = got {
+                        now = at.as_nanos();
+                    }
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+        }
+        drain_and_compare(&mut q, &mut model);
+    }
+
+    /// A same-time burst interleaved across two timestamps pops strictly
+    /// FIFO within each timestamp, regardless of geometry.
+    #[test]
+    fn equal_time_bursts_pop_fifo(
+        geometry in 0u8..4,
+        t in arb_time(64),
+        picks in prop::collection::vec(any::<bool>(), 1..100),
+    ) {
+        let (mut q, width) = queue_for(geometry);
+        let t2 = t.saturating_add(width / 2);
+        let mut model = RefHeap::new();
+        for (seq, &second) in picks.iter().enumerate() {
+            let at = if second { t2 } else { t };
+            q.push(SimTime::from_nanos(at), seq as u64, seq);
+            model.push(Reverse((at, seq as u64, seq)));
+        }
+        let mut last: Option<(u64, u64)> = None;
+        loop {
+            let got = q.pop();
+            let want = model.pop().map(|Reverse(e)| e);
+            prop_assert_eq!(got.map(|(at, s, slot)| (at.as_nanos(), s, slot)), want);
+            let Some((at, s, _)) = got else { break };
+            if let Some((lat, lseq)) = last {
+                prop_assert!(
+                    (at.as_nanos(), s) > (lat, lseq),
+                    "pop order not strictly increasing in (at, seq)"
+                );
+            }
+            last = Some((at.as_nanos(), s));
+        }
+    }
+
+    /// `peek_time` always reports the same minimum as the reference
+    /// heap, whether the minimum lives in the ring or in overflow.
+    #[test]
+    fn peek_time_matches_reference(
+        geometry in 0u8..4,
+        times in prop::collection::vec(arb_time(64), 0..100),
+        pops in 0usize..100,
+    ) {
+        let (mut q, _) = queue_for(geometry);
+        let mut model = RefHeap::new();
+        for (seq, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_nanos(t), seq as u64, seq);
+            model.push(Reverse((t, seq as u64, seq)));
+        }
+        for _ in 0..pops.min(times.len()) {
+            prop_assert_eq!(
+                q.peek_time().map(SimTime::as_nanos),
+                model.peek().map(|&Reverse((at, _, _))| at)
+            );
+            let got = q.pop();
+            let want = model.pop().map(|Reverse(e)| e);
+            prop_assert_eq!(got.map(|(at, s, slot)| (at.as_nanos(), s, slot)), want);
+        }
+    }
+}
