@@ -12,8 +12,8 @@ use std::fs;
 use std::path::Path;
 
 use bench::experiments::{
-    ablations, attribution, detection, faults, fig02, fig05, fig06, fig11, fig12, fig13, fig14,
-    fig15, fig16, overload, recovery, table1, table3, table4, table5,
+    ablations, attribution, decode, detection, faults, fig02, fig05, fig06, fig11, fig12, fig13,
+    fig14, fig15, fig16, overload, recovery, table1, table3, table4, table5,
 };
 use bench::Table;
 
@@ -67,6 +67,7 @@ fn run_one(name: &str) -> Result<bool, EmitError> {
         "detection" => emit("detection_ablation", detection::run())?,
         "overload" => emit("overload_control", overload::run())?,
         "attribution" => emit("attribution_blame", attribution::run())?,
+        "decode" => emit("decode_kv_crossover", decode::run())?,
         "ablations" => {
             for (i, t) in ablations::run_all().into_iter().enumerate() {
                 emit(&format!("ablation_{i}"), t)?;
@@ -110,6 +111,7 @@ const ALL: &[&str] = &[
     "detection",
     "overload",
     "attribution",
+    "decode",
     "ablations",
 ];
 

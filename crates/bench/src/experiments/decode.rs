@@ -1,0 +1,149 @@
+//! Decode KV crossover — paged KV offload: recall vs direct-host-access.
+//!
+//! Streams a GPT-2 decode workload through a deliberately tight device
+//! KV pool on a single V100, sweeping the KV page size and forcing each
+//! placement policy in turn. Spilled pages must then be reached from
+//! host memory every token step, and the page size decides the winner:
+//!
+//! * **small pages** are *wire-bound* — a recall pays the PCIe launch
+//!   overhead per page, so copying thousands of tiny pages back costs
+//!   more than reading them in place (DHA) overlapped with compute;
+//! * **large pages** amortise the launch overhead across their bytes,
+//!   so the planner's crossover flips toward recall.
+//!
+//! The `planner` column is the per-page analogue of the paper's
+//! load-vs-DHA layer rule ([`exec_planner::kvplan::choose_kv`]) at the
+//! workload's mean output horizon; the measured TPOT columns show the
+//! same crossover emerging from the simulated flows. Not a paper figure
+//! — the paper serves one-shot models; this extends its DHA argument to
+//! autoregressive KV state.
+
+use deepplan::{ModelId, PlanMode};
+use dnn_models::zoo::build;
+use exec_planner::kvplan::is_wire_bound;
+use gpu_topology::presets::single_v100;
+use model_serving::catalog::DeployedModel;
+use model_serving::config::{KvMode, ServerConfig};
+use model_serving::metrics::ServingReport;
+use model_serving::run_server;
+use model_serving::workload::decode::{assign_lengths, LengthDist};
+use model_serving::workload::poisson;
+use simcore::time::SimTime;
+
+use crate::setup::SEED;
+use crate::table::{fmt, Table};
+
+/// Output-length distribution of the sweep: short prompts, a mean
+/// horizon of 48 output tokens. Long outputs keep the token-step share
+/// of each request's decode high (prefills are rare relative to steps),
+/// so TPOT reflects KV traffic rather than batch-join interleaving.
+fn lengths() -> LengthDist {
+    LengthDist {
+        prompt_min: 16,
+        prompt_max: 64,
+        output_mean: 48,
+        output_max: 128,
+    }
+}
+
+/// One sweep point: GPT-2 on a single V100, 8 instances, device KV pool
+/// capped at 4 MiB (≈ 1 request's KV) so most pages live host-side.
+/// PipeSwitch plans keep warm prefills off the PCIe wire — the host
+/// link's decode-time traffic is KV pages, nothing else.
+pub fn run_point(page_bytes: u64, kv_mode: KvMode, n: usize) -> ServingReport {
+    let machine = single_v100();
+    let mode = PlanMode::PipeSwitch;
+    let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+    cfg.decode.enabled = true;
+    cfg.decode.page_bytes = page_bytes;
+    cfg.decode.kv_mode = kv_mode;
+    cfg.decode.gpu_pool_bytes = 4 << 20;
+    let kind = DeployedModel::prepare(&build(ModelId::Gpt2), &machine, mode, cfg.max_pt_gpus);
+    let instance_kinds = vec![0usize; 8];
+    let mut trace = poisson::generate(60.0, 8, n, SimTime::ZERO, SEED);
+    assign_lengths(&mut trace, lengths(), SEED);
+    run_server(cfg, vec![kind], &instance_kinds, trace, SimTime::ZERO)
+}
+
+/// Runs the sweep with `n` requests per point.
+pub fn run_with(n: usize) -> Table {
+    let mut t = Table::new(
+        "Decode KV crossover — GPT-2, single V100, 4 MiB device KV pool",
+        &[
+            "model",
+            "page (KiB)",
+            "planner",
+            "p99 TPOT dha (ms)",
+            "p99 TPOT recall (ms)",
+            "p99 TPOT auto (ms)",
+            "spills",
+            "recalls",
+            "dha reads",
+        ],
+    );
+    let machine = single_v100();
+    let gpu = machine.gpu(0);
+    let horizon = f64::from(lengths().output_mean);
+    for page_kib in [2u64, 4, 16, 64] {
+        let page_bytes = page_kib << 10;
+        let planner = if is_wire_bound(page_bytes, horizon, &gpu.pcie, gpu.mem_bw) {
+            "dha"
+        } else {
+            "recall"
+        };
+        let dha = run_point(page_bytes, KvMode::Dha, n);
+        let recall = run_point(page_bytes, KvMode::Recall, n);
+        let auto = run_point(page_bytes, KvMode::Auto, n);
+        t.push(vec![
+            "gpt2".to_string(),
+            page_kib.to_string(),
+            planner.to_string(),
+            fmt(dha.p99_tpot_ms(), 3),
+            fmt(recall.p99_tpot_ms(), 3),
+            fmt(auto.p99_tpot_ms(), 3),
+            auto.kv_spills.to_string(),
+            auto.kv_recalls.to_string(),
+            auto.kv_dha_reads.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Runs the full-size sweep.
+pub fn run() -> Table {
+    run_with(200)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planner_flips_from_dha_to_recall_as_pages_grow() {
+        // V100 PCIe: crossover ≈ 61 accesses at 2 KiB, ≈ 31 at 4 KiB.
+        // At the sweep's 48-token horizon only 2 KiB is wire-bound.
+        let machine = single_v100();
+        let gpu = machine.gpu(0);
+        let horizon = f64::from(lengths().output_mean);
+        assert!(is_wire_bound(2 << 10, horizon, &gpu.pcie, gpu.mem_bw));
+        assert!(!is_wire_bound(4 << 10, horizon, &gpu.pcie, gpu.mem_bw));
+        assert!(!is_wire_bound(64 << 10, horizon, &gpu.pcie, gpu.mem_bw));
+    }
+
+    #[test]
+    fn dha_beats_recall_on_wire_bound_pages() {
+        // At 2 KiB pages a recall pays the 10 µs launch overhead per
+        // page; reading the same pages in place overlaps with compute.
+        let dha = run_point(2 << 10, KvMode::Dha, 60);
+        let recall = run_point(2 << 10, KvMode::Recall, 60);
+        assert_eq!(dha.completed, 60);
+        assert_eq!(recall.completed, 60);
+        assert!(dha.kv_spills > 0, "tight pool must spill");
+        assert!(
+            dha.p99_tpot_ms() < recall.p99_tpot_ms(),
+            "dha p99 TPOT {:.3} !< recall {:.3}",
+            dha.p99_tpot_ms(),
+            recall.p99_tpot_ms()
+        );
+    }
+}

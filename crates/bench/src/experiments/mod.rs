@@ -2,6 +2,7 @@
 
 pub mod ablations;
 pub mod attribution;
+pub mod decode;
 pub mod detection;
 pub mod faults;
 pub mod fig02;

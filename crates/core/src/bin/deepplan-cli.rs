@@ -10,6 +10,7 @@
 //!     [--rate R] [--seed S] [--trace-out trace.json] [--events-out events.jsonl]
 //!     [--faults SPEC] [--deadline-ms N] [--recovery] [--detection]
 //!     [--queue-cap N] [--metrics-out metrics.prom] [--metrics-json series.json]
+//!     [--decode] [--page-kib N] [--kv-pool-mib N] [--kv-mode auto|dha|recall]
 //! deepplan-cli analyze events.jsonl
 //! ```
 //!
@@ -30,6 +31,13 @@
 //! `--faults 'silent-link-slow@2s:pcie=0,factor=0.4'`) to watch the
 //! server re-plan around a fault no health oracle ever announced.
 //!
+//! `--decode` turns the workload autoregressive (decoder models only):
+//! every request gets a prompt and output length, prefills stream into a
+//! per-GPU continuous batch, and KV pages spill to pinned host memory
+//! under pressure — recalled over PCIe or read in place via DHA per the
+//! planner's per-page crossover (`--kv-mode` forces one side). The
+//! summary then includes TTFT / TPOT percentiles and KV page traffic.
+//!
 //! `--metrics-out` streams probe events through the metric registry
 //! during the run and writes a Prometheus-style text snapshot;
 //! `--metrics-json` writes the windowed JSON time series (per-model
@@ -47,7 +55,9 @@ use dnn_models::zoo::catalog;
 use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
-use model_serving::{metrics_spec, poisson, run_server_faulted, DeployedModel, ServerConfig};
+use model_serving::{
+    decode, metrics_spec, poisson, run_server_faulted, DeployedModel, KvMode, ServerConfig,
+};
 use simcore::attribution::{analyze, render_analysis};
 use simcore::fault::FaultSpec;
 use simcore::metrics::MetricsSink;
@@ -75,6 +85,10 @@ struct Args {
     queue_cap: Option<usize>,
     metrics_out: Option<String>,
     metrics_json: Option<String>,
+    decode: bool,
+    page_kib: Option<u64>,
+    kv_pool_mib: Option<u64>,
+    kv_mode: Option<KvMode>,
     /// Positional input file (the `analyze` trace).
     input: Option<String>,
 }
@@ -87,7 +101,8 @@ fn usage() -> ! {
          [--batch N] [--budget-mib N] [--json] [--concurrency N] [--requests N] \
          [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
          [--faults SPEC] [--deadline-ms N] [--recovery] [--detection] [--queue-cap N] \
-         [--metrics-out FILE] [--metrics-json FILE]"
+         [--metrics-out FILE] [--metrics-json FILE] \
+         [--decode] [--page-kib N] [--kv-pool-mib N] [--kv-mode auto|dha|recall]"
     );
     std::process::exit(2)
 }
@@ -132,6 +147,10 @@ fn parse() -> Args {
         queue_cap: None,
         metrics_out: None,
         metrics_json: None,
+        decode: false,
+        page_kib: None,
+        kv_pool_mib: None,
+        kv_mode: None,
         input: None,
     };
     let mut it = argv.iter().skip(1).peekable();
@@ -218,6 +237,32 @@ fn parse() -> Args {
             }
             "--recovery" => args.recovery = true,
             "--detection" => args.detection = true,
+            "--decode" => args.decode = true,
+            "--kv-pool-mib" => {
+                args.kv_pool_mib = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--page-kib" => {
+                args.page_kib = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--kv-mode" => {
+                args.kv_mode = match it.next().map(|s| s.to_lowercase()) {
+                    Some(m) => match m.as_str() {
+                        "auto" => Some(KvMode::Auto),
+                        "dha" => Some(KvMode::Dha),
+                        "recall" => Some(KvMode::Recall),
+                        _ => usage(),
+                    },
+                    None => usage(),
+                }
+            }
             "--queue-cap" => {
                 args.queue_cap = Some(
                     it.next()
@@ -344,6 +389,16 @@ fn main() {
             cfg.recovery.enabled = args.recovery;
             cfg.detection.enabled = args.detection;
             cfg.admission.queue_cap = args.queue_cap;
+            cfg.decode.enabled = args.decode;
+            if let Some(kib) = args.page_kib {
+                cfg.decode.page_bytes = kib << 10;
+            }
+            if let Some(mib) = args.kv_pool_mib {
+                cfg.decode.gpu_pool_bytes = mib << 20;
+            }
+            if let Some(mode) = args.kv_mode {
+                cfg.decode.kv_mode = mode;
+            }
             let faults = match &args.faults {
                 Some(spec) => FaultSpec::parse(spec, args.seed).unwrap_or_else(|e| {
                     eprintln!("{e}");
@@ -359,13 +414,16 @@ fn main() {
                 cfg.max_pt_gpus,
             )];
             let instance_kinds = vec![0usize; args.concurrency];
-            let trace = poisson::generate(
+            let mut trace = poisson::generate(
                 args.rate,
                 args.concurrency,
                 args.requests,
                 SimTime::ZERO,
                 args.seed,
             );
+            if args.decode {
+                decode::assign_lengths(&mut trace, decode::LengthDist::default(), args.seed);
+            }
             let want_metrics = args.metrics_out.is_some() || args.metrics_json.is_some();
             let want_probe = args.trace_out.is_some() || args.events_out.is_some() || want_metrics;
             let (probe, log, sink) = if want_metrics {
@@ -401,6 +459,22 @@ fn main() {
                 report.goodput() * 100.0,
                 report.p99_queue_wait_ms()
             );
+            if args.decode {
+                println!(
+                    "  decode: {} streamed, {} token(s), p99 TTFT {:.2} ms, p99 TPOT {:.3} ms",
+                    report.decode_completed,
+                    report.tokens_generated,
+                    report.p99_ttft_ms(),
+                    report.p99_tpot_ms()
+                );
+                println!(
+                    "  kv: {} spill(s), {} recall(s), {} dha read(s), {} alloc failure(s)",
+                    report.kv_spills,
+                    report.kv_recalls,
+                    report.kv_dha_reads,
+                    report.kv_alloc_failures
+                );
+            }
             if !faults.is_empty() {
                 println!(
                     "  faults: {} gpu failure(s), {} aborted run(s), {} retr(ies), {} shed",

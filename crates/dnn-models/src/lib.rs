@@ -19,11 +19,13 @@
 
 pub mod calib;
 pub mod costmodel;
+pub mod decode;
 pub mod layer;
 pub mod model;
 pub mod zoo;
 
 pub use costmodel::{CostModel, LayerCost};
+pub use decode::DecodeProfile;
 pub use layer::{Layer, LayerKind};
 pub use model::{Model, ModelFamily};
 pub use zoo::{build, catalog, ModelId};

@@ -9,6 +9,7 @@ use simcore::slab::Slab;
 
 use simcore::time::SimTime;
 
+use crate::decode::DecodeRun;
 use crate::launch::RunState;
 use crate::trace::{Trace, TraceEvent, TraceKind};
 
@@ -24,6 +25,16 @@ pub struct RunRef {
     pub gen: u64,
 }
 
+/// Stable reference to a decode process, guarded like [`RunRef`] so
+/// token-step events scheduled before an abort land as no-ops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeRef {
+    /// Slab slot.
+    pub slot: usize,
+    /// Generation stamp at creation.
+    pub gen: u64,
+}
+
 /// The hardware substrate: machine description, its flow network, and the
 /// table of in-flight runs.
 pub struct HwState<S: HasHw> {
@@ -33,6 +44,8 @@ pub struct HwState<S: HasHw> {
     pub map: NetMap,
     /// In-flight inference runs.
     pub runs: Slab<RunState<S>>,
+    /// Live decode processes (one per GPU with a continuous batch).
+    pub decodes: Slab<DecodeRun<S>>,
     /// Optional execution trace (off by default; enable with
     /// [`HwState::enable_tracing`]).
     pub trace: Option<Trace>,
@@ -67,6 +80,7 @@ impl<S: HasHw> HwState<S> {
                 machine,
                 map,
                 runs: Slab::new(),
+                decodes: Slab::new(),
                 trace: None,
                 probe: Probe::disabled(),
                 refetches: 0,
@@ -125,6 +139,13 @@ impl<S: HasHw> HwState<S> {
     /// Resolves a [`RunRef`], returning `None` for completed/stale runs.
     pub fn run_mut(&mut self, r: RunRef) -> Option<&mut RunState<S>> {
         let run = self.runs.get_mut(r.slot)?;
+        (run.gen == r.gen).then_some(run)
+    }
+
+    /// Resolves a [`DecodeRef`], returning `None` for aborted/stale
+    /// decode processes.
+    pub fn decode_mut(&mut self, r: DecodeRef) -> Option<&mut DecodeRun<S>> {
+        let run = self.decodes.get_mut(r.slot)?;
         (run.gen == r.gen).then_some(run)
     }
 }

@@ -10,6 +10,7 @@
 //! concurrent inferences (Tables 2/4) emerges from the topology.
 
 pub mod chrome;
+pub mod decode;
 pub mod hw;
 pub mod launch;
 pub mod result;
@@ -18,7 +19,8 @@ pub mod single;
 pub mod timeline;
 pub mod trace;
 
-pub use hw::{HasHw, HwState, RunRef};
+pub use decode::{abort_decode, begin_decode, start_token_step, StepSpec};
+pub use hw::{DecodeRef, HasHw, HwState, RunRef};
 pub use launch::{abort_run, start_inference, EngineError, LaunchSpec};
 pub use result::InferenceResult;
 pub use runtime::ModelRuntime;

@@ -1,0 +1,151 @@
+//! Per-page-size recall-vs-DHA planning for spilled KV pages.
+//!
+//! The paper's Algorithm 1 decides load-vs-DHA per *layer* by comparing
+//! the cost of copying weights to the GPU against executing with the
+//! weights read over PCIe. A host-spilled KV page during decode faces the
+//! identical choice per *page*:
+//!
+//! * **Recall** pays a one-time copy — per-transfer launch overhead plus
+//!   the page's wire time — after which every access runs at HBM speed.
+//! * **DHA** pays nothing up front but every subsequent access reads the
+//!   page over PCIe instead of HBM.
+//!
+//! With `A` expected remaining accesses (≈ the owner's remaining output
+//! tokens, since decode re-reads the whole KV each step), recall wins
+//! once its amortised copy beats the accumulated wire penalty:
+//!
+//! ```text
+//! DHA  iff  A · b · (1/pcie − 1/hbm)  <  overhead + b/pcie
+//! ```
+//!
+//! Small pages are *wire-bound*: their recall cost is dominated by the
+//! fixed launch overhead, so re-reading them in place stays cheaper for
+//! any realistic access horizon — exactly the regime where the paper
+//! prefers DHA for layers whose transfer cannot hide under compute.
+
+use gpu_topology::device::LinkSpec;
+use serde::{Deserialize, Serialize};
+
+/// Placement decision for one spilled KV page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvPlacement {
+    /// Read the page in place over PCIe on every access.
+    Dha,
+    /// Copy the page back to device memory before the next access.
+    Recall,
+}
+
+/// One-time cost of recalling a `page_bytes` page over `pcie`, in
+/// seconds: launch overhead plus wire time.
+pub fn recall_secs(page_bytes: u64, pcie: &LinkSpec) -> f64 {
+    pcie.launch_overhead_ns as f64 * 1e-9 + pcie.wire_secs(page_bytes as f64)
+}
+
+/// Extra cost of one DHA access relative to an HBM-resident read, in
+/// seconds: the page crosses PCIe instead of the memory bus.
+pub fn dha_access_extra_secs(page_bytes: u64, pcie: &LinkSpec, hbm_bw: f64) -> f64 {
+    let b = page_bytes as f64;
+    (b / pcie.bandwidth - b / hbm_bw).max(0.0)
+}
+
+/// Access count at which recall and DHA break even for this page size.
+/// Below it, DHA is cheaper; `f64::INFINITY` when a DHA access costs no
+/// more than an HBM read (recall can never pay off).
+pub fn crossover_accesses(page_bytes: u64, pcie: &LinkSpec, hbm_bw: f64) -> f64 {
+    let extra = dha_access_extra_secs(page_bytes, pcie, hbm_bw);
+    if extra <= 0.0 {
+        return f64::INFINITY;
+    }
+    recall_secs(page_bytes, pcie) / extra
+}
+
+/// Chooses the placement of a spilled page given its expected remaining
+/// accesses (the owner's remaining output tokens).
+pub fn choose_kv(
+    page_bytes: u64,
+    expected_accesses: f64,
+    pcie: &LinkSpec,
+    hbm_bw: f64,
+) -> KvPlacement {
+    if expected_accesses < crossover_accesses(page_bytes, pcie, hbm_bw) {
+        KvPlacement::Dha
+    } else {
+        KvPlacement::Recall
+    }
+}
+
+/// Whether a page size is *wire-bound* for a given access horizon: DHA
+/// is selected because the recall's fixed overhead plus wire time is not
+/// amortised within the horizon. This is the per-page analogue of the
+/// paper's wire-bound layer condition, and what `report -- decode`
+/// sweeps per page size.
+pub fn is_wire_bound(page_bytes: u64, horizon_accesses: f64, pcie: &LinkSpec, hbm_bw: f64) -> bool {
+    choose_kv(page_bytes, horizon_accesses, pcie, hbm_bw) == KvPlacement::Dha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// V100-style host link: 12 GB/s, 10 µs launch overhead.
+    fn pcie() -> LinkSpec {
+        LinkSpec::new_gbps(12.0, 10.0)
+    }
+
+    const HBM: f64 = 830e9;
+
+    #[test]
+    fn small_pages_are_dha_large_pages_recall() {
+        // 32 remaining accesses: the analytic breakeven sits near 4 KiB.
+        let a = 32.0;
+        assert_eq!(choose_kv(1 << 10, a, &pcie(), HBM), KvPlacement::Dha);
+        assert_eq!(choose_kv(2 << 10, a, &pcie(), HBM), KvPlacement::Dha);
+        assert_eq!(choose_kv(64 << 10, a, &pcie(), HBM), KvPlacement::Recall);
+        assert_eq!(choose_kv(1 << 20, a, &pcie(), HBM), KvPlacement::Recall);
+    }
+
+    #[test]
+    fn crossover_is_monotone_in_page_size() {
+        // Larger pages amortise the launch overhead over more bytes, so
+        // the breakeven access count shrinks toward the pure bandwidth
+        // ratio as pages grow.
+        let mut last = f64::INFINITY;
+        for shift in 8..22 {
+            let x = crossover_accesses(1 << shift, &pcie(), HBM);
+            assert!(x > 1.0, "recall can never win a single access");
+            assert!(x <= last, "crossover must not grow with page size");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn short_horizons_prefer_dha_everywhere() {
+        // One remaining access: copying the page back can never pay off.
+        for shift in 8..24 {
+            assert_eq!(
+                choose_kv(1 << shift, 1.0, &pcie(), HBM),
+                KvPlacement::Dha,
+                "page 2^{shift}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_host_link_extends_dha_region() {
+        let fast = LinkSpec::new_gbps(23.0, 8.0); // A5000-style PCIe 4.0.
+        let b = 64 << 10;
+        assert!(crossover_accesses(b, &fast, 700e9) > crossover_accesses(b, &pcie(), HBM));
+    }
+
+    #[test]
+    fn wire_bound_matches_choice() {
+        let a = 32.0;
+        for shift in 8..22 {
+            let b = 1u64 << shift;
+            assert_eq!(
+                is_wire_bound(b, a, &pcie(), HBM),
+                choose_kv(b, a, &pcie(), HBM) == KvPlacement::Dha
+            );
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod algorithm;
 pub mod budget;
 pub mod degraded;
 pub mod generate;
+pub mod kvplan;
 pub mod partition;
 pub mod plan;
 pub mod stall;
@@ -29,5 +30,6 @@ pub mod validate;
 
 pub use degraded::generate_degraded;
 pub use generate::{generate, PlanMode};
+pub use kvplan::{choose_kv, crossover_accesses, KvPlacement};
 pub use plan::{ExecutionPlan, LayerExec};
 pub use stall::{estimate_pipeline, ScheduleEstimate};

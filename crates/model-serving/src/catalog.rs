@@ -2,6 +2,7 @@
 
 use std::sync::Arc;
 
+use dnn_models::decode::{profile as decode_profile, DecodeProfile};
 use dnn_models::model::Model;
 use exec_engine::runtime::ModelRuntime;
 use exec_planner::generate::{generate, PlanMode};
@@ -24,6 +25,9 @@ pub struct DeployedModel {
     pub profile: Arc<ModelProfile>,
     /// GPU bytes one resident instance occupies.
     pub resident_bytes: u64,
+    /// Decode shape (KV bytes per token, step roofline); `None` for
+    /// non-decoder kinds, which never stream tokens.
+    pub decode: Option<DecodeProfile>,
 }
 
 impl DeployedModel {
@@ -39,6 +43,7 @@ impl DeployedModel {
             plan,
             profile: Arc::new(profile),
             resident_bytes,
+            decode: decode_profile(model),
         }
     }
 }

@@ -141,6 +141,57 @@ pub struct AdmissionPolicy {
     pub escalate_priority: u8,
 }
 
+/// Placement policy for host-spilled KV pages during decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KvMode {
+    /// Per page size, re-run the planner's load-vs-DHA crossover with the
+    /// page's expected remaining accesses: DHA for wire-bound page sizes,
+    /// recall otherwise (the per-page analogue of Algorithm 1).
+    #[default]
+    Auto,
+    /// Always read spilled pages in place via direct-host-access.
+    Dha,
+    /// Always recall (copy back) spilled pages before they are read.
+    Recall,
+}
+
+/// Autoregressive-decode knobs: paged KV-cache pools, continuous-batching
+/// width and the spilled-page placement mode.
+///
+/// Disabled by default and fully inert when off: no pager is consulted,
+/// no decode event is emitted, and one-shot serving stays byte-identical
+/// to a server without the decode path compiled in.
+#[derive(Debug, Clone)]
+pub struct DecodePolicy {
+    /// Master switch for the decode path. Requests with
+    /// `output_tokens > 1` only stream tokens when this is on.
+    pub enabled: bool,
+    /// KV page size in bytes (fixed for the run).
+    pub page_bytes: u64,
+    /// Per-GPU device KV pool, carved out of the reserve bytes.
+    pub gpu_pool_bytes: u64,
+    /// Pinned-host spill pool shared by all GPUs.
+    pub host_pool_bytes: u64,
+    /// Maximum requests decoding together on one GPU (continuous
+    /// batching admits joiners at token boundaries up to this width).
+    pub max_batch: usize,
+    /// Placement of host-spilled pages: recall vs direct-host-access.
+    pub kv_mode: KvMode,
+}
+
+impl Default for DecodePolicy {
+    fn default() -> Self {
+        DecodePolicy {
+            enabled: false,
+            page_bytes: 16 << 10,
+            gpu_pool_bytes: 256 << 20,
+            host_pool_bytes: 4 << 30,
+            max_batch: 8,
+            kv_mode: KvMode::Auto,
+        }
+    }
+}
+
 /// Configuration of one serving experiment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -173,6 +224,9 @@ pub struct ServerConfig {
     /// Gray-failure detection policy (health inference, quarantine,
     /// hedged transfers, checksum verification).
     pub detection: DetectionPolicy,
+    /// Autoregressive-decode policy (paged KV cache, continuous
+    /// batching, DHA KV offload).
+    pub decode: DecodePolicy,
 }
 
 impl ServerConfig {
@@ -192,6 +246,7 @@ impl ServerConfig {
             recovery: RecoveryPolicy::default(),
             admission: AdmissionPolicy::default(),
             detection: DetectionPolicy::default(),
+            decode: DecodePolicy::default(),
         }
     }
 

@@ -17,14 +17,19 @@ pub mod catalog;
 pub mod config;
 pub mod detect;
 pub mod instance;
+pub mod kvcache;
 pub mod memory;
 pub mod metrics;
 pub mod server;
 pub mod workload;
 
 pub use catalog::DeployedModel;
-pub use config::{AdmissionPolicy, DetectionPolicy, FaultPolicy, RecoveryPolicy, ServerConfig};
+pub use config::{
+    AdmissionPolicy, DecodePolicy, DetectionPolicy, FaultPolicy, KvMode, RecoveryPolicy,
+    ServerConfig,
+};
 pub use detect::Detector;
+pub use kvcache::KvPager;
 pub use metrics::{metrics_spec, ServingReport};
 pub use server::{run_server, run_server_faulted, run_server_probed};
-pub use workload::{maf, poisson, Request};
+pub use workload::{decode, maf, poisson, Request};

@@ -45,6 +45,28 @@ pub struct ServingReport {
     pub hedged_transfers: u64,
     /// Weight blocks re-fetched after a checksum mismatch.
     pub checksum_refetches: u64,
+    /// Time-to-first-token (ms) per decode request, measurement window
+    /// only (first token lands when prefill completes).
+    pub ttft: Samples,
+    /// Mean time-per-output-token (ms) per decode request, measurement
+    /// window only.
+    pub tpot: Samples,
+    /// Decode requests that streamed to completion.
+    pub decode_completed: u64,
+    /// Output tokens generated across all decode requests.
+    pub tokens_generated: u64,
+    /// KV pages spilled to the pinned-host pool.
+    pub kv_spills: u64,
+    /// Spilled KV pages recalled to device memory.
+    pub kv_recalls: u64,
+    /// Host-resident KV page reads served in place via DHA.
+    pub kv_dha_reads: u64,
+    /// Token steps that could not materialise a KV page (device and
+    /// host pools both full).
+    pub kv_alloc_failures: u64,
+    /// KV pages still live in the pager when the run drained — must be
+    /// zero: every completed *or aborted* decode frees its pages.
+    pub kv_live_pages_at_end: u64,
     /// Discrete events the simulation kernel executed for this run
     /// (perf-trajectory metric; independent of any policy).
     pub sim_events: u64,
@@ -74,9 +96,28 @@ impl ServingReport {
             canaries: 0,
             hedged_transfers: 0,
             checksum_refetches: 0,
+            ttft: Samples::new(),
+            tpot: Samples::new(),
+            decode_completed: 0,
+            tokens_generated: 0,
+            kv_spills: 0,
+            kv_recalls: 0,
+            kv_dha_reads: 0,
+            kv_alloc_failures: 0,
+            kv_live_pages_at_end: 0,
             sim_events: 0,
             slo,
         }
+    }
+
+    /// 99th-percentile time-to-first-token in ms.
+    pub fn p99_ttft_ms(&self) -> f64 {
+        self.ttft.p99()
+    }
+
+    /// 99th-percentile time-per-output-token in ms.
+    pub fn p99_tpot_ms(&self) -> f64 {
+        self.tpot.p99()
     }
 
     /// Records one completed request.

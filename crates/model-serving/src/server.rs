@@ -13,10 +13,12 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use exec_engine::hw::{HasHw, HwState, RunRef};
+use exec_engine::decode::{abort_decode, begin_decode, start_token_step, StepSpec};
+use exec_engine::hw::{DecodeRef, HasHw, HwState, RunRef};
 use exec_engine::launch::{abort_run, start_inference, DoneFn, HedgeSpec, LaunchSpec};
 use exec_engine::result::InferenceResult;
 use exec_planner::generate_degraded;
+use exec_planner::kvplan::{choose_kv, KvPlacement};
 use exec_planner::plan::ExecutionPlan;
 use gpu_topology::health::{GpuHealth, LinkHealth};
 use gpu_topology::select::pt_group;
@@ -28,13 +30,15 @@ use simcore::sim::{Ctx, Sim};
 use simcore::time::{SimDur, SimTime};
 
 use crate::catalog::DeployedModel;
-use crate::config::ServerConfig;
+use crate::config::{KvMode, ServerConfig};
 use crate::detect::{Detector, Transition};
 use crate::instance::{Instance, Residency};
+use crate::kvcache::{KvPager, PageHome};
 use crate::memory::{make_room_with, GpuCache};
 use crate::metrics::ServingReport;
 use crate::workload::Request;
 
+#[derive(Clone, Copy)]
 struct Queued {
     /// Request id, unique within the experiment (for request spans).
     req: u64,
@@ -43,6 +47,10 @@ struct Queued {
     /// Failure-retry attempt this entry represents (0 = first try).
     attempt: u32,
     priority: u8,
+    /// Prompt length in tokens (decode requests only; 0 otherwise).
+    prompt_tokens: u32,
+    /// Output tokens requested; > 1 makes this a decode request.
+    output_tokens: u32,
 }
 
 /// The request currently executing on a GPU, kept so a GPU failure can
@@ -53,7 +61,46 @@ struct RunningReq {
     arrival: SimTime,
     attempt: u32,
     priority: u8,
+    prompt_tokens: u32,
+    output_tokens: u32,
     run: RunRef,
+}
+
+/// One request streaming tokens in a GPU's continuous batch. The prefill
+/// (one-shot inference) produced the first token; each subsequent token
+/// comes from a batch-wide token step.
+#[derive(Clone, Copy)]
+struct DecodeEntry {
+    req: u64,
+    instance: usize,
+    arrival: SimTime,
+    dispatched: SimTime,
+    /// When the prefill finished (= first-token time).
+    prefill_done: SimTime,
+    /// Tokens produced so far (prefill counts as the first).
+    tokens_done: u64,
+    /// Total output tokens requested.
+    tokens_target: u64,
+    prompt_tokens: u64,
+    attempt: u32,
+    priority: u8,
+    /// Whether the prefill ran cold (for completion accounting).
+    cold: bool,
+}
+
+/// Per-GPU continuous batch: requests join at token boundaries as their
+/// prefills finish and leave as they hit their target length. At most
+/// one token step is in flight per GPU, and prefills alternate with
+/// steps (`busy` excludes steps; `stepping` excludes dispatches).
+#[derive(Default)]
+struct DecodeBatch {
+    entries: Vec<DecodeEntry>,
+    /// A token step is in flight.
+    stepping: bool,
+    /// Monotonic step counter (this GPU), also the pager's touch step.
+    step_id: u64,
+    /// Live engine decode process, one per GPU with a non-empty batch.
+    run: Option<DecodeRef>,
 }
 
 /// The simulation world of one serving experiment.
@@ -72,6 +119,11 @@ pub struct ServerState {
     measure_from: SimTime,
     probe: Probe,
     next_req: u64,
+    // --- decode state (inert unless cfg.decode.enabled) ---
+    /// Per-GPU continuous batches.
+    batches: Vec<DecodeBatch>,
+    /// Paged KV allocator; `Some` iff decode is enabled.
+    pager: Option<KvPager>,
     // --- fault state (inert on healthy runs) ---
     gpu_up: GpuHealth,
     link_health: LinkHealth,
@@ -154,6 +206,14 @@ impl ServerState {
             .detection
             .enabled
             .then(|| Detector::new(cfg.detection.clone(), n_links, n_gpus));
+        let pager = cfg.decode.enabled.then(|| {
+            KvPager::new(
+                cfg.decode.page_bytes,
+                n_gpus,
+                cfg.decode.gpu_pool_bytes,
+                cfg.decode.host_pool_bytes,
+            )
+        });
         ServerState {
             hw,
             flows,
@@ -169,6 +229,8 @@ impl ServerState {
             measure_from,
             probe: Probe::disabled(),
             next_req: 0,
+            batches: (0..n_gpus).map(|_| DecodeBatch::default()).collect(),
+            pager,
             gpu_up: GpuHealth::all_up(n_gpus),
             link_health,
             running: (0..n_gpus).map(|_| None).collect(),
@@ -321,6 +383,7 @@ impl ServerState {
         !self.pending.is_empty()
             || self.busy.iter().any(|&b| b)
             || self.queues.iter().any(|q| !q.is_empty())
+            || self.batches.iter().any(|b| !b.entries.is_empty())
     }
 
     /// Sheds a request: counted, never served.
@@ -384,6 +447,8 @@ fn route(s: &mut ServerState, ctx: &mut Ctx<ServerState>, req: Request) {
         arrival: ctx.now(),
         attempt: 0,
         priority: req.priority,
+        prompt_tokens: req.prompt_tokens,
+        output_tokens: req.output_tokens,
     });
     s.probe.emit(
         ctx.now(),
@@ -447,6 +512,10 @@ fn admit(
 /// Dispatches the head of GPU `g`'s queue if the GPU is idle and up.
 fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     if s.busy[g] || !s.gpu_up.is_up(g) {
+        return;
+    }
+    if s.cfg.decode.enabled && s.batches[g].stepping {
+        // A token step owns the GPU; prefills resume at the boundary.
         return;
     }
     let q = loop {
@@ -583,6 +652,12 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     let req_id = q.req;
     let attempt = q.attempt;
     let priority = q.priority;
+    let prompt_tokens = q.prompt_tokens;
+    let output_tokens = q.output_tokens;
+    // Autoregressive request: after the prefill, join the GPU's
+    // continuous batch instead of completing. Requires the kind to be a
+    // decoder (non-decoder kinds never stream, whatever the trace says).
+    let decode = s.cfg.decode.enabled && output_tokens > 1 && s.kinds[kind].decode.is_some();
     let dispatched = ctx.now();
     // Published before the launch so the span's dispatch precedes the
     // engine events it causes; the run slot is the one the next insert
@@ -601,6 +676,37 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     // twice: once for the launch and once for the NVLink-less fallback.
     let make_done = move || -> DoneFn<ServerState> {
         Box::new(move |s: &mut ServerState, ctx, res| {
+            if decode {
+                s.probe.emit(
+                    res.finished,
+                    ProbeEvent::FirstToken {
+                        req: req_id,
+                        instance: inst_id,
+                        gpu: g,
+                        ttft_ns: (res.finished - arrival).as_nanos(),
+                    },
+                );
+                note_observation(s, ctx, g, inst_id, warm, disp_slowdown, &res);
+                join_batch(
+                    s,
+                    ctx,
+                    g,
+                    DecodeEntry {
+                        req: req_id,
+                        instance: inst_id,
+                        arrival,
+                        dispatched,
+                        prefill_done: res.finished,
+                        tokens_done: 1,
+                        tokens_target: u64::from(output_tokens),
+                        prompt_tokens: u64::from(prompt_tokens),
+                        attempt,
+                        priority,
+                        cold: !warm,
+                    },
+                );
+                return;
+            }
             s.probe.emit(
                 res.finished,
                 ProbeEvent::RequestCompleted {
@@ -646,6 +752,8 @@ fn try_dispatch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         arrival,
         attempt,
         priority,
+        prompt_tokens,
+        output_tokens,
         run,
     });
 }
@@ -671,6 +779,310 @@ fn on_complete(
         s.report.record(finished, finished - arrival, !warm);
     }
     try_dispatch(s, ctx, g);
+    decode_pump(s, ctx, g);
+}
+
+/// A prefill finished and its request joins GPU `g`'s continuous batch.
+/// The instance's `active` count stays elevated until the decode
+/// completes, pinning it (and therefore its weights) while its KV lives.
+fn join_batch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize, e: DecodeEntry) {
+    s.busy[g] = false;
+    s.running[g] = None;
+    let inst = &mut s.instances[e.instance];
+    if inst.residency == Residency::Loading(g) {
+        inst.residency = Residency::Resident(g);
+    }
+    if e.arrival >= s.measure_from {
+        s.report.ttft.push((e.prefill_done - e.arrival).as_ms_f64());
+    }
+    s.batches[g].entries.push(e);
+    decode_pump(s, ctx, g);
+}
+
+/// Drives GPU `g`'s decode loop: admit prefills into the batch at the
+/// token boundary (continuous batching — joins happen between steps,
+/// never mid-step), then run the next token step. No-op while a prefill
+/// or step is in flight; their completions re-enter the pump.
+fn decode_pump(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    if !s.cfg.decode.enabled {
+        return;
+    }
+    if s.busy[g] || s.batches[g].stepping || !s.gpu_up.is_up(g) {
+        return;
+    }
+    if !s.queues[g].is_empty() && s.batches[g].entries.len() < s.cfg.decode.max_batch {
+        try_dispatch(s, ctx, g);
+        if s.busy[g] {
+            return; // Prefill in flight; it joins at the next boundary.
+        }
+    }
+    if s.batches[g].entries.is_empty() {
+        return;
+    }
+    start_step(s, ctx, g);
+}
+
+/// Launches one token step on GPU `g`: grows each entry's paged KV by
+/// its newly appended token (spilling LRU pages to pinned host memory
+/// when the device pool fills), places every host-resident page —
+/// recall over PCIe or zero-copy DHA — per the configured [`KvMode`],
+/// and prices the step with the decode roofline.
+fn start_step(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    let now = ctx.now();
+    let step_id = s.batches[g].step_id + 1;
+    s.batches[g].step_id = step_id;
+    s.batches[g].stepping = true;
+    let page_bytes = s.cfg.decode.page_bytes;
+    let kv_mode = s.cfg.decode.kv_mode;
+    let entries: Vec<DecodeEntry> = s.batches[g].entries.clone();
+    // Phase 1: grow KV footprints. The pager never victimises a page
+    // touched this step; a full host pool surfaces as an allocation
+    // failure (the step proceeds and only under-counts its bytes).
+    for e in &entries {
+        let kind = s.instances[e.instance].kind;
+        let prof = s.kinds[kind]
+            .decode
+            .expect("batch entries are decoder kinds");
+        let needed = prof.kv_bytes(e.prompt_tokens + e.tokens_done);
+        let pager = s.pager.as_ref().expect("decode enabled implies pager");
+        let want = pager
+            .pages_for(needed)
+            .saturating_sub(pager.pages_of(e.req).len() as u64);
+        // One batched LRU scan covers the whole growth, not a rescan
+        // per evicted page.
+        let deficit = want.saturating_sub(pager.gpu_free_pages(g));
+        let victims = pager.spill_victims(g, step_id, usize::try_from(deficit).unwrap_or(0));
+        for victim in victims {
+            let pager = s.pager.as_mut().expect("decode enabled implies pager");
+            let owner = pager.page(victim).expect("victim is live").owner;
+            pager.spill(victim);
+            s.report.kv_spills += 1;
+            s.probe.emit(
+                now,
+                ProbeEvent::KvPageSpill {
+                    req: owner,
+                    gpu: g,
+                    page: victim,
+                },
+            );
+        }
+        for _ in 0..want {
+            let pager = s.pager.as_mut().expect("decode enabled implies pager");
+            let Some(p) = pager.try_alloc(e.req, g, step_id) else {
+                // Pool full and every resident page pinned (or the host
+                // pool is full): the step proceeds under-counting bytes.
+                s.report.kv_alloc_failures += 1;
+                break;
+            };
+            s.probe.emit(
+                now,
+                ProbeEvent::KvPageAlloc {
+                    req: e.req,
+                    gpu: g,
+                    page: p,
+                },
+            );
+        }
+        // The step appends to the tail page: mark it hot so the spill
+        // policy cannot victimise it mid-step.
+        let pager = s.pager.as_mut().expect("decode enabled implies pager");
+        if let Some(&tail) = pager.pages_of(e.req).last() {
+            pager.touch(tail, step_id);
+        }
+    }
+    // The step's HBM-read set is fixed here, after growth and before
+    // placement: pages resident now are priced at device bandwidth,
+    // pages host-resident now are priced on the wire (recall or DHA)
+    // below. Phase-2 evictions shuffle homes but never re-price a page.
+    let resident_kv = s
+        .pager
+        .as_ref()
+        .expect("decode enabled implies pager")
+        .gpu_used_bytes(g);
+    // Phase 2: place host-resident pages. The per-page load-vs-DHA
+    // decision mirrors the planner's layer rule: recall when the page's
+    // remaining accesses amortise the copy, DHA when it is wire-bound.
+    let gpu_spec = s.cfg.machine.gpu(g).clone();
+    let mut dha_bytes = 0.0f64;
+    let mut moved_bytes = 0.0f64;
+    let mut recall_transfers = 0u64;
+    for e in &entries {
+        let remaining = (e.tokens_target - e.tokens_done) as f64;
+        let host_pages: Vec<crate::kvcache::PageId> = {
+            let pager = s.pager.as_ref().expect("decode enabled implies pager");
+            pager
+                .pages_of(e.req)
+                .iter()
+                .copied()
+                .filter(|&p| matches!(pager.page(p), Some(pg) if pg.home == PageHome::Host))
+                .collect()
+        };
+        // Page size and remaining horizon are uniform across one
+        // entry's pages, so the placement is too.
+        let place = match kv_mode {
+            KvMode::Dha => KvPlacement::Dha,
+            KvMode::Recall => KvPlacement::Recall,
+            KvMode::Auto => choose_kv(page_bytes, remaining, &gpu_spec.pcie, gpu_spec.mem_bw),
+        };
+        if place == KvPlacement::Recall && kv_mode == KvMode::Recall {
+            // Forced recall evicts cold pages to make room (one batched
+            // scan); Auto only recalls into free space — its crossover
+            // math assumes recalled pages then stay resident, which an
+            // eviction cascade would violate.
+            let pager = s.pager.as_ref().expect("decode enabled implies pager");
+            let deficit = (host_pages.len() as u64).saturating_sub(pager.gpu_free_pages(g));
+            let victims = pager.spill_victims(g, step_id, usize::try_from(deficit).unwrap_or(0));
+            for victim in victims {
+                let pager = s.pager.as_mut().expect("decode enabled implies pager");
+                let owner = pager.page(victim).expect("victim is live").owner;
+                pager.spill(victim);
+                s.report.kv_spills += 1;
+                s.probe.emit(
+                    now,
+                    ProbeEvent::KvPageSpill {
+                        req: owner,
+                        gpu: g,
+                        page: victim,
+                    },
+                );
+            }
+        }
+        for p in host_pages {
+            let recalled = place == KvPlacement::Recall
+                && s.pager
+                    .as_mut()
+                    .expect("decode enabled implies pager")
+                    .recall(p, g, step_id);
+            if recalled {
+                moved_bytes += page_bytes as f64;
+                recall_transfers += 1;
+                s.report.kv_recalls += 1;
+                s.probe.emit(
+                    now,
+                    ProbeEvent::KvPageRecall {
+                        req: e.req,
+                        gpu: g,
+                        page: p,
+                    },
+                );
+            } else {
+                // Wire-bound page — or the device pool is full: read it
+                // in place over PCIe, overlapped with compute.
+                dha_bytes += page_bytes as f64;
+                s.report.kv_dha_reads += 1;
+            }
+        }
+    }
+    // Phase 3: price the device side. Weights are read once per distinct
+    // kind in the batch, device-resident KV once, all at HBM bandwidth;
+    // announced slowdowns and silent gray faults stretch it exactly as
+    // they stretch one-shot execution.
+    let mut kinds_seen: Vec<usize> = Vec::new();
+    let mut weight_bytes = 0u64;
+    for e in &entries {
+        let kind = s.instances[e.instance].kind;
+        if !kinds_seen.contains(&kind) {
+            kinds_seen.push(kind);
+            weight_bytes += s.kinds[kind]
+                .decode
+                .expect("batch entries are decoder kinds")
+                .weight_bytes;
+        }
+    }
+    let scale = s.slowdown * s.silent_gpu_factor[g];
+    let compute =
+        SimDur::from_secs_f64((weight_bytes + resident_kv) as f64 / gpu_spec.mem_bw * scale);
+    let spec = StepSpec {
+        step: step_id,
+        batch: entries.len(),
+        compute,
+        dha_bytes,
+        moved_bytes,
+        recall_transfers,
+    };
+    let run = match s.batches[g].run {
+        Some(r) => r,
+        None => {
+            let r = begin_decode(s, g);
+            s.batches[g].run = Some(r);
+            r
+        }
+    };
+    let started = start_token_step(
+        s,
+        ctx,
+        run,
+        spec,
+        Box::new(move |s: &mut ServerState, ctx| step_done(s, ctx, g, step_id)),
+    );
+    debug_assert!(started, "live batch implies live decode ref");
+}
+
+/// A token step finished on GPU `g`: every entry gained one token, and
+/// finished requests leave the batch in join order — completions of
+/// equal-priority requests are never reordered — before the pump
+/// continues with joins and the next step.
+fn step_done(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize, step_id: u64) {
+    if s.batches[g].step_id != step_id || !s.batches[g].stepping {
+        return; // Stale: the batch was torn down under this step.
+    }
+    s.batches[g].stepping = false;
+    let now = ctx.now();
+    for e in s.batches[g].entries.iter_mut() {
+        e.tokens_done += 1;
+    }
+    let mut finished: Vec<DecodeEntry> = Vec::new();
+    s.batches[g].entries.retain(|e| {
+        if e.tokens_done >= e.tokens_target {
+            finished.push(*e);
+            false
+        } else {
+            true
+        }
+    });
+    for e in finished {
+        s.probe.emit(
+            now,
+            ProbeEvent::RequestCompleted {
+                req: e.req,
+                instance: e.instance,
+                gpu: g,
+                cold: e.cold,
+                latency_ns: (now - e.arrival).as_nanos(),
+                queue_wait_ns: (e.dispatched - e.arrival).as_nanos(),
+            },
+        );
+        let steps = (e.tokens_target - 1).max(1);
+        let tpot_ns = (now - e.prefill_done).as_nanos() / steps;
+        s.probe.emit(
+            now,
+            ProbeEvent::DecodeFinished {
+                req: e.req,
+                gpu: g,
+                tokens: e.tokens_target,
+                ttft_ns: (e.prefill_done - e.arrival).as_nanos(),
+                tpot_ns,
+            },
+        );
+        if let Some(p) = s.pager.as_mut() {
+            p.free_request(e.req);
+        }
+        let inst = &mut s.instances[e.instance];
+        inst.active -= 1;
+        inst.last_used = now;
+        if e.arrival >= s.measure_from {
+            s.report.record(now, now - e.arrival, e.cold);
+            s.report.tpot.push(tpot_ns as f64 / 1e6);
+            s.report.decode_completed += 1;
+            s.report.tokens_generated += e.tokens_target;
+        }
+    }
+    if s.batches[g].entries.is_empty() {
+        if let Some(r) = s.batches[g].run.take() {
+            abort_decode(s, ctx, r);
+        }
+    }
+    decode_pump(s, ctx, g);
 }
 
 /// Feeds the detector everything observable from one completed run:
@@ -885,25 +1297,17 @@ fn send_canary(s: &mut ServerState, ctx: &mut Ctx<ServerState>, l: LinkId) {
 
 /// Re-queues a request on a healthy GPU, counting it as a retry. Sheds
 /// when the retry budget is spent or no GPU is up.
-fn requeue(
-    s: &mut ServerState,
-    ctx: &mut Ctx<ServerState>,
-    req: u64,
-    instance: usize,
-    arrival: SimTime,
-    attempt: u32,
-    priority: u8,
-) {
-    if attempt > s.cfg.faults.max_retries {
-        s.shed(ctx.now(), req, instance, ShedCause::RetriesExhausted);
+fn requeue(s: &mut ServerState, ctx: &mut Ctx<ServerState>, q: Queued) {
+    if q.attempt > s.cfg.faults.max_retries {
+        s.shed(ctx.now(), q.req, q.instance, ShedCause::RetriesExhausted);
         return;
     }
-    let g = match s.instances[instance].gpu() {
+    let g = match s.instances[q.instance].gpu() {
         Some(g) if s.gpu_up.is_up(g) => g,
         _ => match s.pick_gpu() {
             Some(g) => g,
             None => {
-                s.shed(ctx.now(), req, instance, ShedCause::NoCapacity);
+                s.shed(ctx.now(), q.req, q.instance, ShedCause::NoCapacity);
                 return;
             }
         },
@@ -912,19 +1316,13 @@ fn requeue(
     s.probe.emit(
         ctx.now(),
         ProbeEvent::RequestRetried {
-            req,
-            instance,
+            req: q.req,
+            instance: q.instance,
             gpu: g,
-            attempt,
+            attempt: q.attempt,
         },
     );
-    s.queues[g].push_back(Queued {
-        req,
-        instance,
-        arrival,
-        attempt,
-        priority,
-    });
+    s.queues[g].push_back(q);
     s.emit_queue_depth(ctx.now(), g);
     try_dispatch(s, ctx, g);
 }
@@ -947,12 +1345,52 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             let attempt = rr.attempt + 1;
             let backoff =
                 SimDur::from_nanos(s.cfg.faults.retry_backoff.as_nanos() * u64::from(attempt));
-            let (req, instance, arrival, priority) = (rr.req, rr.instance, rr.arrival, rr.priority);
+            let q = Queued {
+                req: rr.req,
+                instance: rr.instance,
+                arrival: rr.arrival,
+                attempt,
+                priority: rr.priority,
+                prompt_tokens: rr.prompt_tokens,
+                output_tokens: rr.output_tokens,
+            };
             ctx.schedule_in(
                 backoff,
-                Box::new(move |s: &mut ServerState, ctx| {
-                    requeue(s, ctx, req, instance, arrival, attempt, priority);
-                }),
+                Box::new(move |s: &mut ServerState, ctx| requeue(s, ctx, q)),
+            );
+        }
+    }
+    // Tear down the GPU's continuous batch: the in-flight step's timers
+    // and flows land as no-ops through the decode generation guard, all
+    // of its KV pages (device *and* spilled) are freed, and every
+    // streaming request retries from its prompt on a survivor.
+    if s.cfg.decode.enabled {
+        s.batches[g].stepping = false;
+        if let Some(r) = s.batches[g].run.take() {
+            abort_decode(s, ctx, r);
+        }
+        let entries: Vec<DecodeEntry> = s.batches[g].entries.drain(..).collect();
+        for e in entries {
+            if let Some(p) = s.pager.as_mut() {
+                p.free_request(e.req);
+            }
+            s.instances[e.instance].active -= 1;
+            s.report.aborted_runs += 1;
+            let attempt = e.attempt + 1;
+            let backoff =
+                SimDur::from_nanos(s.cfg.faults.retry_backoff.as_nanos() * u64::from(attempt));
+            let q = Queued {
+                req: e.req,
+                instance: e.instance,
+                arrival: e.arrival,
+                attempt,
+                priority: e.priority,
+                prompt_tokens: e.prompt_tokens as u32,
+                output_tokens: e.tokens_target as u32,
+            };
+            ctx.schedule_in(
+                backoff,
+                Box::new(move |s: &mut ServerState, ctx| requeue(s, ctx, q)),
             );
         }
     }
@@ -973,11 +1411,10 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         requeue(
             s,
             ctx,
-            q.req,
-            q.instance,
-            q.arrival,
-            q.attempt + 1,
-            q.priority,
+            Queued {
+                attempt: q.attempt + 1,
+                ..q
+            },
         );
     }
     note_topology_change(s, ctx);
@@ -1530,6 +1967,7 @@ pub fn run_server_faulted(
     state.report.sim_events = events;
     state.report.hedged_transfers = state.flows.hedged;
     state.report.checksum_refetches = state.hw.refetches;
+    state.report.kv_live_pages_at_end = state.pager.as_ref().map_or(0, |p| p.live_pages() as u64);
     state.report
 }
 
@@ -1595,5 +2033,97 @@ mod tests {
         let r = run(PlanMode::Dha, 200, 2_000);
         assert_eq!(r.completed, 2_000);
         assert!(r.p99_ms() > 0.0);
+    }
+
+    fn decode_run(
+        tweak: impl FnOnce(&mut ServerConfig),
+        concurrency: usize,
+        requests: usize,
+    ) -> ServingReport {
+        let m = p3_8xlarge();
+        let mut cfg = ServerConfig::paper_default(m.clone(), PlanMode::Dha);
+        cfg.decode.enabled = true;
+        tweak(&mut cfg);
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::Gpt2),
+            &m,
+            PlanMode::Dha,
+            2,
+        )];
+        let instance_kinds = vec![0usize; concurrency];
+        let mut trace = poisson::generate(50.0, concurrency, requests, SimTime::ZERO, 11);
+        crate::workload::decode::assign_lengths(
+            &mut trace,
+            crate::workload::decode::LengthDist::default(),
+            42,
+        );
+        run_server(cfg, kinds, &instance_kinds, trace, SimTime::ZERO)
+    }
+
+    #[test]
+    fn decode_streams_every_request_to_completion() {
+        let r = decode_run(|_| {}, 8, 120);
+        assert_eq!(r.completed, 120);
+        assert_eq!(r.decode_completed, 120, "all requests want >= 2 tokens");
+        assert_eq!(r.ttft.len(), 120);
+        assert_eq!(r.tpot.len(), 120);
+        // Every request generated at least its prefill token plus one.
+        assert!(r.tokens_generated >= 2 * 120);
+        assert!(r.p99_ttft_ms() > 0.0);
+        assert!(r.p99_tpot_ms() > 0.0);
+        // TTFT is bounded by end-to-end latency.
+        assert!(r.p99_ttft_ms() <= r.p99_ms());
+        assert_eq!(r.kv_alloc_failures, 0);
+    }
+
+    #[test]
+    fn tight_device_pool_spills_and_dha_reads_kv() {
+        let r = decode_run(
+            |cfg| {
+                // ~36 pages of 64 KiB per GPU: long sequences must spill.
+                cfg.decode.gpu_pool_bytes = 36 * (64 << 10);
+                cfg.decode.page_bytes = 64 << 10;
+            },
+            8,
+            120,
+        );
+        assert_eq!(r.completed, 120);
+        assert!(r.kv_spills > 0, "tight pool must spill");
+        assert!(
+            r.kv_dha_reads + r.kv_recalls > 0,
+            "spilled pages must be accessed"
+        );
+        // A pool this small cannot materialise a long prompt in one step
+        // (fresh pages are touch-protected from spilling); the server
+        // degrades to counted allocation failures instead of stalling.
+        assert!(r.kv_alloc_failures > 0);
+    }
+
+    #[test]
+    fn decode_disabled_ignores_token_fields() {
+        // Same trace with token lengths assigned, decode off: the server
+        // must serve everything one-shot, no decode accounting at all.
+        let m = p3_8xlarge();
+        let cfg = ServerConfig::paper_default(m.clone(), PlanMode::Dha);
+        assert!(!cfg.decode.enabled);
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::Gpt2),
+            &m,
+            PlanMode::Dha,
+            2,
+        )];
+        let instance_kinds = vec![0usize; 8];
+        let mut trace = poisson::generate(50.0, 8, 120, SimTime::ZERO, 11);
+        crate::workload::decode::assign_lengths(
+            &mut trace,
+            crate::workload::decode::LengthDist::default(),
+            42,
+        );
+        let r = run_server(cfg, kinds, &instance_kinds, trace, SimTime::ZERO);
+        assert_eq!(r.completed, 120);
+        assert_eq!(r.decode_completed, 0);
+        assert_eq!(r.tokens_generated, 0);
+        assert_eq!(r.ttft.len(), 0);
+        assert_eq!(r.kv_spills + r.kv_recalls + r.kv_dha_reads, 0);
     }
 }

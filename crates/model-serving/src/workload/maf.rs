@@ -90,11 +90,10 @@ pub fn generate(
         if t >= horizon {
             break;
         }
-        out.push(Request {
-            at: SimTime::ZERO + SimDur::from_secs_f64(t),
-            instance: pick_index(&mut rng, n_heavy),
-            priority: 0,
-        });
+        out.push(Request::new(
+            SimTime::ZERO + SimDur::from_secs_f64(t),
+            pick_index(&mut rng, n_heavy),
+        ));
     }
 
     // Fluctuating: non-homogeneous Poisson by thinning against the peak
@@ -113,11 +112,10 @@ pub fn generate(
                 * (1.0 + shape.flux_amplitude * (2.0 * std::f64::consts::PI * t / period).sin());
             let u: f64 = rng.random::<f64>();
             if u * peak <= inst_rate {
-                out.push(Request {
-                    at: SimTime::ZERO + SimDur::from_secs_f64(t),
-                    instance: n_heavy + pick_index(&mut rng, n_flux),
-                    priority: 0,
-                });
+                out.push(Request::new(
+                    SimTime::ZERO + SimDur::from_secs_f64(t),
+                    n_heavy + pick_index(&mut rng, n_flux),
+                ));
             }
         }
     }
@@ -140,11 +138,10 @@ pub fn generate(
                 if at >= horizon {
                     break;
                 }
-                out.push(Request {
-                    at: SimTime::ZERO + SimDur::from_secs_f64(at),
-                    instance: inst,
-                    priority: 0,
-                });
+                out.push(Request::new(
+                    SimTime::ZERO + SimDur::from_secs_f64(at),
+                    inst,
+                ));
             }
         }
     }

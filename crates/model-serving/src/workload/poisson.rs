@@ -26,11 +26,7 @@ pub fn generate(
     let mut out = Vec::with_capacity(count);
     for _ in 0..count {
         t += exp_gap(&mut rng, rate_per_sec);
-        out.push(Request {
-            at: t,
-            instance: pick_index(&mut rng, instances),
-            priority: 0,
-        });
+        out.push(Request::new(t, pick_index(&mut rng, instances)));
     }
     out
 }

@@ -571,6 +571,7 @@ struct KindHandles {
     shed: CounterId,
     latency: HistId,
     queue_wait: HistId,
+    ttft: HistId,
 }
 
 /// An [`EventSink`] that records every event into an inner [`EventLog`]
@@ -593,6 +594,10 @@ pub struct MetricsSink {
     stalls_by_cause: [CounterId; 3],
     exec_busy_ns: CounterId,
     alerts: CounterId,
+    tpot: HistId,
+    tokens_out: CounterId,
+    kv_spills: CounterId,
+    kv_recalls: CounterId,
     monitors: Vec<SloMonitor>,
     next_rotate_ns: u64,
     columns: Vec<String>,
@@ -633,6 +638,11 @@ impl MetricsSink {
                 queue_wait: registry.histogram(
                     "deepplan_request_queue_wait_ns",
                     "Queueing component of request latency.",
+                    label(),
+                ),
+                ttft: registry.histogram(
+                    "deepplan_ttft_ns",
+                    "Time to first token for decode requests.",
                     label(),
                 ),
             });
@@ -692,6 +702,26 @@ impl MetricsSink {
             "SLO burn-rate alerts fired.",
             vec![],
         );
+        let tpot = registry.histogram(
+            "deepplan_tpot_ns",
+            "Per-request mean time per output token.",
+            vec![],
+        );
+        let tokens_out = registry.counter(
+            "deepplan_tokens_generated_total",
+            "Output tokens generated by decode.",
+            vec![],
+        );
+        let kv_spills = registry.counter(
+            "deepplan_kv_page_spills_total",
+            "KV pages spilled to pinned host memory.",
+            vec![],
+        );
+        let kv_recalls = registry.counter(
+            "deepplan_kv_page_recalls_total",
+            "Spilled KV pages recalled to device memory.",
+            vec![],
+        );
         let resolution_ns = spec.resolution_ms * 1_000_000;
         MetricsSink {
             log: EventLog::new(),
@@ -705,6 +735,10 @@ impl MetricsSink {
             stalls_by_cause,
             exec_busy_ns,
             alerts,
+            tpot,
+            tokens_out,
+            kv_spills,
+            kv_recalls,
             monitors,
             next_rotate_ns: resolution_ns,
             columns,
@@ -816,6 +850,20 @@ impl MetricsSink {
             ProbeEvent::RunCompleted { exec_busy_ns, .. } => {
                 self.registry.inc(self.exec_busy_ns, exec_busy_ns);
             }
+            ProbeEvent::FirstToken {
+                instance, ttft_ns, ..
+            } => {
+                let k = self.kind_of(instance);
+                self.registry.observe(self.kinds[k].ttft, ttft_ns);
+            }
+            ProbeEvent::DecodeFinished {
+                tokens, tpot_ns, ..
+            } => {
+                self.registry.observe(self.tpot, tpot_ns);
+                self.registry.inc(self.tokens_out, tokens);
+            }
+            ProbeEvent::KvPageSpill { .. } => self.registry.inc(self.kv_spills, 1),
+            ProbeEvent::KvPageRecall { .. } => self.registry.inc(self.kv_recalls, 1),
             _ => {}
         }
     }

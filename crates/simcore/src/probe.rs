@@ -515,6 +515,85 @@ pub enum ProbeEvent {
         /// (1000 = burning exactly the error budget).
         burn_milli: u64,
     },
+    /// A decode request produced its first output token (its prefill
+    /// finished and it joined the continuous batch): the TTFT milestone.
+    FirstToken {
+        /// Request id.
+        req: u64,
+        /// Model instance.
+        instance: usize,
+        /// GPU whose decode batch the request joined.
+        gpu: usize,
+        /// Time to first token (arrival → prefill completion) in
+        /// nanoseconds.
+        ttft_ns: u64,
+    },
+    /// A continuous-batching token step started on `gpu`: every batched
+    /// request decodes one token.
+    TokenStepStarted {
+        /// Decoding GPU.
+        gpu: usize,
+        /// Per-GPU monotonic step id.
+        step: u64,
+        /// Requests in the batch this step.
+        batch: usize,
+        /// Host-resident KV bytes read in place (DHA) during the step.
+        dha_bytes: u64,
+        /// KV bytes moved over PCIe (spills plus recalls) before the
+        /// step's kernels run.
+        moved_bytes: u64,
+    },
+    /// A token step finished; every batched request gained one token.
+    TokenStepFinished {
+        /// Decoding GPU.
+        gpu: usize,
+        /// Per-GPU monotonic step id.
+        step: u64,
+        /// Requests in the batch this step.
+        batch: usize,
+        /// Step wall time in nanoseconds.
+        ns: u64,
+    },
+    /// A KV page was allocated in `gpu`'s device pool.
+    KvPageAlloc {
+        /// Request owning the page.
+        req: u64,
+        /// GPU whose pool the page occupies.
+        gpu: usize,
+        /// Page id in the pager's slab.
+        page: usize,
+    },
+    /// A cold KV page was spilled from `gpu` to pinned host memory.
+    KvPageSpill {
+        /// Request owning the page.
+        req: u64,
+        /// GPU the page left.
+        gpu: usize,
+        /// Page id in the pager's slab.
+        page: usize,
+    },
+    /// A host-resident KV page was recalled (copied back) to `gpu`.
+    KvPageRecall {
+        /// Request owning the page.
+        req: u64,
+        /// GPU the page returned to.
+        gpu: usize,
+        /// Page id in the pager's slab.
+        page: usize,
+    },
+    /// A decode request finished streaming its final token.
+    DecodeFinished {
+        /// Request id.
+        req: u64,
+        /// Decoding GPU.
+        gpu: usize,
+        /// Output tokens generated (including the first).
+        tokens: u64,
+        /// Time to first token in nanoseconds.
+        ttft_ns: u64,
+        /// Mean time per output token after the first, in nanoseconds.
+        tpot_ns: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -559,6 +638,13 @@ impl ProbeEvent {
             ProbeEvent::LoadRefetched { .. } => "load_refetched",
             ProbeEvent::FlowHedged { .. } => "flow_hedged",
             ProbeEvent::SloBurnAlert { .. } => "slo_burn_alert",
+            ProbeEvent::FirstToken { .. } => "first_token",
+            ProbeEvent::TokenStepStarted { .. } => "token_step_started",
+            ProbeEvent::TokenStepFinished { .. } => "token_step_finished",
+            ProbeEvent::KvPageAlloc { .. } => "kv_page_alloc",
+            ProbeEvent::KvPageSpill { .. } => "kv_page_spill",
+            ProbeEvent::KvPageRecall { .. } => "kv_page_recall",
+            ProbeEvent::DecodeFinished { .. } => "decode_finished",
         }
     }
 }
@@ -941,6 +1027,56 @@ fn jsonl_line(out: &mut String, e: &Event) {
             out,
             r#","kind":{kind},"window_ms":{window_ms},"burn_milli":{burn_milli}"#
         ),
+        ProbeEvent::FirstToken {
+            req,
+            instance,
+            gpu,
+            ttft_ns,
+        } => write!(
+            out,
+            r#","req":{req},"instance":{instance},"gpu":{gpu},"ttft_ns":{ttft_ns}"#
+        ),
+        ProbeEvent::TokenStepStarted {
+            gpu,
+            step,
+            batch,
+            dha_bytes,
+            moved_bytes,
+        } => write!(
+            out,
+            r#","gpu":{gpu},"step":{step},"batch":{batch},"dha_bytes":{dha_bytes},"moved_bytes":{moved_bytes}"#
+        ),
+        ProbeEvent::TokenStepFinished {
+            gpu,
+            step,
+            batch,
+            ns,
+        } => write!(
+            out,
+            r#","gpu":{gpu},"step":{step},"batch":{batch},"ns":{ns}"#
+        ),
+        ProbeEvent::KvPageAlloc { req, gpu, page } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"page":{page}"#
+        ),
+        ProbeEvent::KvPageSpill { req, gpu, page } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"page":{page}"#
+        ),
+        ProbeEvent::KvPageRecall { req, gpu, page } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"page":{page}"#
+        ),
+        ProbeEvent::DecodeFinished {
+            req,
+            gpu,
+            tokens,
+            ttft_ns,
+            tpot_ns,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"ttft_ns":{ttft_ns},"tpot_ns":{tpot_ns}"#
+        ),
     }
     .expect("writing to String cannot fail");
     out.push('}');
@@ -962,6 +1098,7 @@ const PID_SERVING: u64 = 0;
 const PID_ENGINE: u64 = 1;
 const TID_LOAD_BASE: u64 = 100;
 const TID_MIGRATE_BASE: u64 = 200;
+const TID_DECODE_BASE: u64 = 300;
 
 /// Serialises events as a Chrome Trace Event Format JSON document.
 ///
@@ -1389,6 +1526,87 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     r#"{{"name":"SLO BURN kind{kind}","cat":"slo","ph":"i","s":"g","ts":{us:?},"pid":{PID_SERVING},"tid":0,"args":{{"kind":{kind},"window_ms":{window_ms},"burn_milli":{burn_milli}}}}}"#
                 ));
             }
+            ProbeEvent::FirstToken {
+                req,
+                instance,
+                gpu,
+                ttft_ns,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"first token","cat":"decode","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"instance":{instance},"ttft_ms":{:?}}}}}"#,
+                    ttft_ns as f64 / 1e6
+                ));
+            }
+            ProbeEvent::TokenStepStarted {
+                gpu,
+                step,
+                batch,
+                dha_bytes,
+                moved_bytes,
+            } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"step{step}","cat":"decode","ph":"B","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"batch":{batch},"dha_bytes":{dha_bytes},"moved_bytes":{moved_bytes}}}}}"#
+                ));
+            }
+            ProbeEvent::TokenStepFinished {
+                gpu,
+                step: _,
+                batch: _,
+                ns: _,
+            } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                body.push(format!(
+                    r#"{{"ph":"E","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid}}}"#
+                ));
+            }
+            ProbeEvent::KvPageAlloc { req, gpu, page } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"kv alloc","cat":"kv","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"page":{page}}}}}"#
+                ));
+            }
+            ProbeEvent::KvPageSpill { req, gpu, page } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"kv spill","cat":"kv","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"page":{page}}}}}"#
+                ));
+            }
+            ProbeEvent::KvPageRecall { req, gpu, page } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"kv recall","cat":"kv","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"page":{page}}}}}"#
+                ));
+            }
+            ProbeEvent::DecodeFinished {
+                req,
+                gpu,
+                tokens,
+                ttft_ns,
+                tpot_ns,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"decode done","cat":"decode","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"tokens":{tokens},"ttft_ms":{:?},"tpot_ms":{:?}}}}}"#,
+                    ttft_ns as f64 / 1e6,
+                    tpot_ns as f64 / 1e6
+                ));
+            }
         }
     }
 
@@ -1814,6 +2032,47 @@ fn event_from_fields(f: &Fields) -> Result<ProbeEvent, String> {
             kind: f.idx("kind")?,
             window_ms: f.u64("window_ms")?,
             burn_milli: f.u64("burn_milli")?,
+        },
+        "first_token" => ProbeEvent::FirstToken {
+            req: f.u64("req")?,
+            instance: f.idx("instance")?,
+            gpu: f.idx("gpu")?,
+            ttft_ns: f.u64("ttft_ns")?,
+        },
+        "token_step_started" => ProbeEvent::TokenStepStarted {
+            gpu: f.idx("gpu")?,
+            step: f.u64("step")?,
+            batch: f.idx("batch")?,
+            dha_bytes: f.u64("dha_bytes")?,
+            moved_bytes: f.u64("moved_bytes")?,
+        },
+        "token_step_finished" => ProbeEvent::TokenStepFinished {
+            gpu: f.idx("gpu")?,
+            step: f.u64("step")?,
+            batch: f.idx("batch")?,
+            ns: f.u64("ns")?,
+        },
+        "kv_page_alloc" => ProbeEvent::KvPageAlloc {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            page: f.idx("page")?,
+        },
+        "kv_page_spill" => ProbeEvent::KvPageSpill {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            page: f.idx("page")?,
+        },
+        "kv_page_recall" => ProbeEvent::KvPageRecall {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            page: f.idx("page")?,
+        },
+        "decode_finished" => ProbeEvent::DecodeFinished {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            ttft_ns: f.u64("ttft_ns")?,
+            tpot_ns: f.u64("tpot_ns")?,
         },
         other => return Err(format!("unknown event name '{other}'")),
     };
@@ -2360,6 +2619,47 @@ mod tests {
                 kind: 0,
                 window_ms: 60_000,
                 burn_milli: 2_500,
+            },
+            ProbeEvent::FirstToken {
+                req: 1,
+                instance: 2,
+                gpu: 3,
+                ttft_ns: 9_000,
+            },
+            ProbeEvent::TokenStepStarted {
+                gpu: 3,
+                step: 11,
+                batch: 4,
+                dha_bytes: 4_096,
+                moved_bytes: 16_384,
+            },
+            ProbeEvent::TokenStepFinished {
+                gpu: 3,
+                step: 11,
+                batch: 4,
+                ns: 600_000,
+            },
+            ProbeEvent::KvPageAlloc {
+                req: 1,
+                gpu: 3,
+                page: 8,
+            },
+            ProbeEvent::KvPageSpill {
+                req: 1,
+                gpu: 3,
+                page: 8,
+            },
+            ProbeEvent::KvPageRecall {
+                req: 1,
+                gpu: 3,
+                page: 8,
+            },
+            ProbeEvent::DecodeFinished {
+                req: 1,
+                gpu: 3,
+                tokens: 32,
+                ttft_ns: 9_000,
+                tpot_ns: 700,
             },
         ];
         samples

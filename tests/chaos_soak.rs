@@ -130,6 +130,99 @@ fn chaos_soak_with_silent_faults_and_detection_loses_nothing() {
     );
 }
 
+mod decode_chaos {
+    //! GPU crashes landing mid-decode: the slot+generation guard must
+    //! tear the continuous batch down without leaking a single KV page,
+    //! every aborted request must be retried or shed (never silently
+    //! lost), and the whole thing must replay byte-identically.
+
+    use super::*;
+    use model_serving::decode::{assign_lengths, LengthDist};
+
+    const DECODE_REQUESTS: usize = 400;
+
+    /// Crashing GPUs under an autoregressive GPT-2 workload with a
+    /// deliberately tight device KV pool, so crashes land while decode
+    /// batches are mid-step and the pager is under spill pressure.
+    const DECODE_CHAOS: &str = "gpu-crash:gpu=1,mtbf=2s,mttr=400ms; \
+                                gpu-crash:gpu=3,mtbf=3s,mttr=600ms; \
+                                link-flap:pcie=0,up=700ms,down=150ms,factor=0.2";
+
+    fn decode_soak() -> (ServingReport, Vec<Event>) {
+        let machine = p3_8xlarge();
+        let mode = PlanMode::PtDha;
+        let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+        cfg.decode.enabled = true;
+        cfg.decode.gpu_pool_bytes = 32 << 20;
+        cfg.admission.queue_cap = Some(64);
+        let kinds = vec![DeployedModel::prepare(
+            &build(ModelId::Gpt2),
+            &machine,
+            mode,
+            cfg.max_pt_gpus,
+        )];
+        let instance_kinds = vec![0usize; 32];
+        let mut trace = poisson::generate(80.0, 32, DECODE_REQUESTS, SimTime::ZERO, 0xDECA7);
+        assign_lengths(&mut trace, LengthDist::default(), 0xDECA7);
+        let faults = FaultSpec::parse(DECODE_CHAOS, 0xDECA7).expect("valid chaos spec");
+        let (probe, log) = Probe::logging();
+        let report = run_server_faulted(
+            cfg,
+            kinds,
+            &instance_kinds,
+            trace,
+            SimTime::ZERO,
+            probe,
+            &faults,
+        );
+        let events = log.borrow().events.clone();
+        (report, events)
+    }
+
+    #[test]
+    fn gpu_crash_mid_decode_leaks_no_kv_pages_and_replays_identically() {
+        let (report, events) = decode_soak();
+        assert_eq!(
+            report.completed + report.shed,
+            DECODE_REQUESTS as u64,
+            "requests vanished: {} completed + {} shed != {DECODE_REQUESTS}",
+            report.completed,
+            report.shed
+        );
+        assert!(report.gpu_failures > 0, "chaos never crashed a GPU");
+        assert!(
+            report.aborted_runs > 0,
+            "no crash landed while work was in flight"
+        );
+        assert!(
+            report.decode_completed > 0,
+            "nothing streamed to completion"
+        );
+        assert!(report.kv_spills > 0, "tight pool never spilled");
+        // The leak proof: after crashes, retries and the final drain,
+        // not one KV page remains in any pool.
+        assert_eq!(
+            report.kv_live_pages_at_end, 0,
+            "KV pages leaked across GPU crashes"
+        );
+        // Crashes interrupted live decode batches, not just prefills:
+        // some requests joined a batch (FirstToken) more than once.
+        let mut first_tokens: std::collections::BTreeMap<u64, u32> = Default::default();
+        for e in &events {
+            if let ProbeEvent::FirstToken { req, .. } = e.what {
+                *first_tokens.entry(req).or_default() += 1;
+            }
+        }
+        assert!(
+            first_tokens.values().any(|&n| n > 1),
+            "no request was ever re-prefetched after a mid-decode crash"
+        );
+        let (report2, events2) = decode_soak();
+        assert_eq!(to_jsonl(&events), to_jsonl(&events2));
+        assert_eq!(report.completed, report2.completed);
+    }
+}
+
 #[test]
 fn silent_chaos_with_detection_disabled_is_inert_and_deterministic() {
     // Detection off: the silent faults still bend the physics, but
