@@ -10,8 +10,13 @@
 //! `events_per_sec` tracks engine speed. The same workload runs twice,
 //! probe-disabled and probe-enabled, so the cost of observability is a
 //! tracked number (`events_per_sec_probed` / `probe_overhead_pct`)
-//! guarding the "zero-cost when disabled" claim. Run it on a quiet
-//! machine:
+//! guarding the "zero-cost when disabled" claim.
+//!
+//! A second pinned workload (`decode_*` fields) streams a GPT-2
+//! continuous-batching decode run, probe-off and with the resilience
+//! layer at its default (disabled): it gates the token-step hot path —
+//! including the inert resilience branches — the fig15 one-shot
+//! workload never enters. Run it on a quiet machine:
 //!
 //! ```text
 //! cargo run --release -p bench --bin perf [-- --gate] [-- --note "..."]
@@ -24,8 +29,12 @@
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use deepplan::PlanMode;
+use dnn_models::zoo::{build, ModelId};
+use gpu_topology::presets::p3_8xlarge;
+use model_serving::workload::decode::{assign_lengths, LengthDist};
+use model_serving::{poisson, run_server, DeployedModel, ServerConfig, ServingReport};
 use serde_json::{json, Value};
-use simcore::time::SimDur;
+use simcore::time::{SimDur, SimTime};
 
 use bench::experiments::fig15;
 use bench::experiments::serving::{run_mix, run_mix_probed};
@@ -36,6 +45,40 @@ const INSTANCES: usize = 300;
 const TRAJECTORY: &str = "BENCH_simcore_events.json";
 /// A gated run must stay within this fraction of the last entry.
 const GATE_RATIO: f64 = 0.9;
+
+const DECODE_REQUESTS: usize = 4_000;
+const DECODE_RATE: f64 = 240.0;
+const DECODE_INSTANCES: usize = 16;
+
+/// The pinned decode workload: GPT-2 continuous batching on a
+/// p3.8xlarge with a deliberately tight device KV pool (spill/recall
+/// traffic included), probe off, resilience at its default (off) — the
+/// throughput this gates is the token-step hot path with the inert
+/// resilience branches compiled in.
+fn run_decode() -> ServingReport {
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PtDha;
+    let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+    cfg.decode.enabled = true;
+    cfg.decode.page_bytes = 64 << 10;
+    cfg.decode.gpu_pool_bytes = 64 << 20;
+    let kinds = vec![DeployedModel::prepare(
+        &build(ModelId::Gpt2),
+        &machine,
+        mode,
+        cfg.max_pt_gpus,
+    )];
+    let instance_kinds = vec![0usize; DECODE_INSTANCES];
+    let mut trace = poisson::generate(
+        DECODE_RATE,
+        DECODE_INSTANCES,
+        DECODE_REQUESTS,
+        SimTime::ZERO,
+        11,
+    );
+    assign_lengths(&mut trace, LengthDist::default(), 11);
+    run_server(cfg, kinds, &instance_kinds, trace, SimTime::ZERO)
+}
 
 /// Days-since-epoch to civil date (Howard Hinnant's algorithm), so the
 /// trajectory carries human-readable dates without a chrono dependency.
@@ -108,6 +151,11 @@ fn main() {
     );
     let probe_overhead_pct = (wall_secs_probed / wall_secs.max(1e-9) - 1.0) * 100.0;
 
+    let wall_decode = Instant::now();
+    let decode_report = run_decode();
+    let wall_secs_decode = wall_decode.elapsed().as_secs_f64();
+    let decode_events_per_sec = decode_report.sim_events as f64 / wall_secs_decode.max(1e-9);
+
     let mut trajectory = load_trajectory();
     if let Some(last) = trajectory.last() {
         let last_eps = last["events_per_sec"].as_f64().unwrap_or(0.0);
@@ -131,6 +179,24 @@ fn main() {
             );
             std::process::exit(1);
         }
+        // The decode row gates the same way once a prior entry carries
+        // it; older entries predate the decode workload and gate
+        // nothing.
+        if let Some(last_decode_eps) = last["decode_events_per_sec"].as_f64() {
+            let decode_floor = last_decode_eps * GATE_RATIO;
+            println!(
+                "gate: {decode_events_per_sec:.0} decode events/sec vs floor {decode_floor:.0} \
+                 ({GATE_RATIO}x last entry {last_decode_eps:.0})"
+            );
+            if gate && decode_events_per_sec < decode_floor {
+                eprintln!(
+                    "error: decode perf regression: {decode_events_per_sec:.0} events/sec \
+                     < {decode_floor:.0} ({GATE_RATIO}x last trajectory entry); \
+                     trajectory left untouched"
+                );
+                std::process::exit(1);
+            }
+        }
     }
 
     let entry = json!({
@@ -149,6 +215,15 @@ fn main() {
         "sim_secs": HORIZON_SECS,
         "sim_wall_ratio": (sim_wall_ratio * 10.0).round() / 10.0,
         "completed": report.completed,
+        "decode_workload": format!(
+            "gpt2-decode {DECODE_RATE} rps x {DECODE_REQUESTS} reqs, \
+             {DECODE_INSTANCES} instances, pt+dha, resilience off"
+        ),
+        "decode_sim_events": decode_report.sim_events,
+        "decode_wall_secs": (wall_secs_decode * 1e3).round() / 1e3,
+        "decode_events_per_sec": decode_events_per_sec.round(),
+        "decode_tokens": decode_report.tokens_generated,
+        "decode_completed": decode_report.completed,
     });
     println!("{}", serde_json::to_string_pretty(&entry).unwrap());
     trajectory.push(entry);

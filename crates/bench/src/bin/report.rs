@@ -67,7 +67,10 @@ fn run_one(name: &str) -> Result<bool, EmitError> {
         "detection" => emit("detection_ablation", detection::run())?,
         "overload" => emit("overload_control", overload::run())?,
         "attribution" => emit("attribution_blame", attribution::run())?,
-        "decode" => emit("decode_kv_crossover", decode::run())?,
+        "decode" => {
+            emit("decode_kv_crossover", decode::run())?;
+            emit("decode_crash_recovery", decode::run_recovery())?;
+        }
         "ablations" => {
             for (i, t) in ablations::run_all().into_iter().enumerate() {
                 emit(&format!("ablation_{i}"), t)?;

@@ -21,13 +21,15 @@
 use deepplan::{ModelId, PlanMode};
 use dnn_models::zoo::build;
 use exec_planner::kvplan::is_wire_bound;
-use gpu_topology::presets::single_v100;
+use gpu_topology::presets::{p3_8xlarge, single_v100};
 use model_serving::catalog::DeployedModel;
 use model_serving::config::{KvMode, ServerConfig};
 use model_serving::metrics::ServingReport;
-use model_serving::run_server;
 use model_serving::workload::decode::{assign_lengths, LengthDist};
 use model_serving::workload::poisson;
+use model_serving::{run_server, run_server_faulted};
+use simcore::fault::FaultSpec;
+use simcore::probe::Probe;
 use simcore::time::SimTime;
 
 use crate::setup::SEED;
@@ -112,6 +114,96 @@ pub fn run_with(n: usize) -> Table {
 /// Runs the full-size sweep.
 pub fn run() -> Table {
     run_with(200)
+}
+
+/// One crash-recovery point: GPT-2 decode on a p3.8xlarge with session
+/// resilience armed, a deterministic mid-decode GPU crash schedule, and
+/// the given output-length class. Checkpoints mirror every 2 tokens so
+/// any session past its first few steps has a restorable mirror.
+fn recovery_point(lengths: LengthDist, n: usize) -> ServingReport {
+    let machine = p3_8xlarge();
+    let mode = PlanMode::PipeSwitch;
+    let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
+    cfg.decode.enabled = true;
+    cfg.decode_resilience.enabled = true;
+    cfg.decode_resilience.checkpoint_every = 2;
+    let kind = DeployedModel::prepare(&build(ModelId::Gpt2), &machine, mode, cfg.max_pt_gpus);
+    let instance_kinds = vec![0usize; 16];
+    let mut trace = poisson::generate(80.0, 16, n, SimTime::ZERO, SEED);
+    assign_lengths(&mut trace, lengths, SEED);
+    // Two mid-decode crashes with recoveries between them; the same
+    // wall-clock schedule hits both classes, so the only difference is
+    // how old (and how checkpointed) the victim sessions are.
+    let faults = FaultSpec::parse(
+        "gpu-fail@300ms:gpu=1; gpu-recover@800ms:gpu=1; \
+         gpu-fail@1200ms:gpu=2; gpu-recover@1700ms:gpu=2",
+        SEED,
+    )
+    .expect("static fault spec parses");
+    run_server_faulted(
+        cfg,
+        vec![kind],
+        &instance_kinds,
+        trace,
+        SimTime::ZERO,
+        Probe::disabled(),
+        &faults,
+    )
+}
+
+/// Crash recovery: restore-from-checkpoint vs re-prefill, by session
+/// length class. Short sessions die young — usually before their first
+/// checkpoint — so the planner's crossover sends them back through the
+/// prefill path; long sessions carry a deep mirror whose wire time beats
+/// recomputing the prompt, and their measured crash-to-next-token p99 is
+/// correspondingly lower on the restore side.
+pub fn run_recovery() -> Table {
+    let mut t = Table::new(
+        "Decode crash recovery — GPT-2, p3.8xlarge, resilience on, \
+         deterministic mid-decode GPU crashes",
+        &[
+            "class",
+            "victims",
+            "restore",
+            "re-prefill",
+            "restored",
+            "p99 restore recovery (ms)",
+            "p99 re-prefill recovery (ms)",
+        ],
+    );
+    let classes = [
+        (
+            "short",
+            LengthDist {
+                prompt_min: 8,
+                prompt_max: 16,
+                output_mean: 4,
+                output_max: 6,
+            },
+        ),
+        (
+            "long",
+            LengthDist {
+                prompt_min: 128,
+                prompt_max: 256,
+                output_mean: 160,
+                output_max: 320,
+            },
+        ),
+    ];
+    for (name, lengths) in classes {
+        let r = recovery_point(lengths, 300);
+        t.push(vec![
+            name.to_string(),
+            (r.restore_decisions + r.reprefill_decisions).to_string(),
+            r.restore_decisions.to_string(),
+            r.reprefill_decisions.to_string(),
+            r.sessions_restored.to_string(),
+            fmt(r.recovery_restore_ttft.p99(), 2),
+            fmt(r.recovery_reprefill_ttft.p99(), 2),
+        ]);
+    }
+    t
 }
 
 #[cfg(test)]

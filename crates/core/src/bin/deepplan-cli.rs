@@ -11,6 +11,7 @@
 //!     [--faults SPEC] [--deadline-ms N] [--recovery] [--detection]
 //!     [--queue-cap N] [--metrics-out metrics.prom] [--metrics-json series.json]
 //!     [--decode] [--page-kib N] [--kv-pool-mib N] [--kv-mode auto|dha|recall]
+//!     [--resilience] [--slo-tiers]
 //! deepplan-cli analyze events.jsonl
 //! ```
 //!
@@ -37,6 +38,17 @@
 //! under pressure — recalled over PCIe or read in place via DHA per the
 //! planner's per-page crossover (`--kv-mode` forces one side). The
 //! summary then includes TTFT / TPOT percentiles and KV page traffic.
+//! `--page-kib` must be a non-zero power of two (pages subdivide the
+//! pool evenly); anything else is rejected before the run starts.
+//!
+//! `--resilience` (requires `--decode`) arms decode-session resilience:
+//! completed-step KV pages mirror incrementally to pinned host memory,
+//! a crashed GPU's sessions restore from the mirror or re-prefill per
+//! the planner's cost crossover, and whole sessions swap out under KV
+//! pool pressure and resume later at the exact token step. `--slo-tiers`
+//! additionally installs the default TTFT/TPOT tenant tiers: tiered
+//! admission control plus token-level degradation (sessions whose TPOT
+//! budget is unrecoverable finish early). Implies `--resilience`.
 //!
 //! `--metrics-out` streams probe events through the metric registry
 //! during the run and writes a Prometheus-style text snapshot;
@@ -56,7 +68,8 @@ use gpu_topology::machine::Machine;
 use gpu_topology::netmap::NetMap;
 use gpu_topology::presets::{a5000_dual, dgx1_like, p3_8xlarge, single_v100};
 use model_serving::{
-    decode, metrics_spec, poisson, run_server_faulted, DeployedModel, KvMode, ServerConfig,
+    decode, metrics_spec, poisson, run_server_faulted, DeployedModel, KvMode, ResiliencePolicy,
+    ServerConfig,
 };
 use simcore::attribution::{analyze, render_analysis};
 use simcore::fault::FaultSpec;
@@ -89,6 +102,8 @@ struct Args {
     page_kib: Option<u64>,
     kv_pool_mib: Option<u64>,
     kv_mode: Option<KvMode>,
+    resilience: bool,
+    slo_tiers: bool,
     /// Positional input file (the `analyze` trace).
     input: Option<String>,
 }
@@ -102,9 +117,41 @@ fn usage() -> ! {
          [--rate R] [--seed S] [--trace-out FILE] [--events-out FILE] \
          [--faults SPEC] [--deadline-ms N] [--recovery] [--detection] [--queue-cap N] \
          [--metrics-out FILE] [--metrics-json FILE] \
-         [--decode] [--page-kib N] [--kv-pool-mib N] [--kv-mode auto|dha|recall]"
+         [--decode] [--page-kib N] [--kv-pool-mib N] [--kv-mode auto|dha|recall] \
+         [--resilience] [--slo-tiers]"
     );
     std::process::exit(2)
+}
+
+/// A rejected `--page-kib` value. The pager subdivides its pools into
+/// fixed pages and sizes footprints with power-of-two arithmetic, so a
+/// zero or non-power-of-two page would corrupt every byte count — the
+/// value is refused before any simulation state exists.
+#[derive(Debug, PartialEq, Eq)]
+enum PageSizeError {
+    Zero,
+    NotPowerOfTwo(u64),
+}
+
+impl std::fmt::Display for PageSizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageSizeError::Zero => write!(f, "page size must be non-zero"),
+            PageSizeError::NotPowerOfTwo(kib) => {
+                write!(f, "page size must be a power of two KiB, got {kib}")
+            }
+        }
+    }
+}
+
+fn validate_page_kib(kib: u64) -> Result<u64, PageSizeError> {
+    if kib == 0 {
+        return Err(PageSizeError::Zero);
+    }
+    if !kib.is_power_of_two() {
+        return Err(PageSizeError::NotPowerOfTwo(kib));
+    }
+    Ok(kib)
 }
 
 fn parse_model(s: &str) -> Option<ModelId> {
@@ -151,6 +198,8 @@ fn parse() -> Args {
         page_kib: None,
         kv_pool_mib: None,
         kv_mode: None,
+        resilience: false,
+        slo_tiers: false,
         input: None,
     };
     let mut it = argv.iter().skip(1).peekable();
@@ -238,6 +287,8 @@ fn parse() -> Args {
             "--recovery" => args.recovery = true,
             "--detection" => args.detection = true,
             "--decode" => args.decode = true,
+            "--resilience" => args.resilience = true,
+            "--slo-tiers" => args.slo_tiers = true,
             "--kv-pool-mib" => {
                 args.kv_pool_mib = Some(
                     it.next()
@@ -391,13 +442,25 @@ fn main() {
             cfg.admission.queue_cap = args.queue_cap;
             cfg.decode.enabled = args.decode;
             if let Some(kib) = args.page_kib {
-                cfg.decode.page_bytes = kib << 10;
+                match validate_page_kib(kib) {
+                    Ok(kib) => cfg.decode.page_bytes = kib << 10,
+                    Err(e) => {
+                        eprintln!("error: --page-kib: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
             if let Some(mib) = args.kv_pool_mib {
                 cfg.decode.gpu_pool_bytes = mib << 20;
             }
             if let Some(mode) = args.kv_mode {
                 cfg.decode.kv_mode = mode;
+            }
+            if args.resilience || args.slo_tiers {
+                cfg.decode_resilience.enabled = true;
+            }
+            if args.slo_tiers {
+                cfg.decode_resilience.tiers = ResiliencePolicy::default_tiers();
             }
             let faults = match &args.faults {
                 Some(spec) => FaultSpec::parse(spec, args.seed).unwrap_or_else(|e| {
@@ -473,6 +536,21 @@ fn main() {
                     report.kv_recalls,
                     report.kv_dha_reads,
                     report.kv_alloc_failures
+                );
+            }
+            if args.resilience || args.slo_tiers {
+                println!(
+                    "  resilience: {} checkpointed session(s) ({:.1} MiB), \
+                     {} restore / {} re-prefill decision(s), {} restored",
+                    report.ckpt_sessions,
+                    report.ckpt_bytes as f64 / (1 << 20) as f64,
+                    report.restore_decisions,
+                    report.reprefill_decisions,
+                    report.sessions_restored
+                );
+                println!(
+                    "  resilience: {} swapped out, {} resumed, {} truncated",
+                    report.sessions_swapped, report.sessions_resumed, report.sessions_truncated
                 );
             }
             if !faults.is_empty() {
@@ -568,5 +646,19 @@ fn main() {
             print!("{}", render_analysis(&analyze(&events)));
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_kib_validation_rejects_zero_and_non_powers() {
+        assert_eq!(validate_page_kib(0), Err(PageSizeError::Zero));
+        assert_eq!(validate_page_kib(48), Err(PageSizeError::NotPowerOfTwo(48)));
+        assert_eq!(validate_page_kib(3), Err(PageSizeError::NotPowerOfTwo(3)));
+        assert_eq!(validate_page_kib(1), Ok(1));
+        assert_eq!(validate_page_kib(64), Ok(64));
     }
 }

@@ -213,6 +213,50 @@ fn step_part_done<S: HasHw>(state: &mut S, ctx: &mut Ctx<S>, r: DecodeRef) {
     }
 }
 
+/// Streams `bytes` of KV between pinned host memory and `gpu` outside
+/// any token step — the transfer primitive behind incremental
+/// checkpointing (device→host mirror) and crash restore (host→device
+/// replay). One launch overhead, then one merged flow over the host
+/// path, with the same shared-flow bookkeeping as recalls and DHA reads
+/// so checkpoint and restore traffic genuinely contends with foreground
+/// decode transfers. `on_done` fires when the flow drains; the caller is
+/// responsible for its own staleness guard (there is no decode ref to
+/// guard on — the session this stream serves may legitimately outlive
+/// the batch it left).
+pub fn stream_kv<S: HasHw>(
+    state: &mut S,
+    ctx: &mut Ctx<S>,
+    gpu: usize,
+    bytes: f64,
+    on_done: EventFn<S>,
+) {
+    let overhead = {
+        let hw = state.hw();
+        SimDur::from_nanos(hw.machine.gpu(gpu).pcie.launch_overhead_ns)
+    };
+    ctx.schedule_in(
+        overhead,
+        Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+            let path = {
+                let hw = state.hw();
+                hw.map.host_to_gpu(&hw.machine, gpu)
+            };
+            state.hw().host_flow_started(&path);
+            let obs_path = path.clone();
+            start_flow(
+                state,
+                ctx,
+                bytes,
+                path,
+                Box::new(move |state: &mut S, ctx: &mut Ctx<S>| {
+                    state.hw().host_flow_finished(&obs_path);
+                    on_done(state, ctx);
+                }),
+            );
+        }),
+    );
+}
+
 /// Tears down a decode process (GPU crash, or its batch drained). Every
 /// pending timer and flow the step had scheduled becomes a no-op through
 /// the generation guard; the step-done callback is dropped without

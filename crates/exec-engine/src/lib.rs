@@ -19,7 +19,7 @@ pub mod single;
 pub mod timeline;
 pub mod trace;
 
-pub use decode::{abort_decode, begin_decode, start_token_step, StepSpec};
+pub use decode::{abort_decode, begin_decode, start_token_step, stream_kv, StepSpec};
 pub use hw::{DecodeRef, HasHw, HwState, RunRef};
 pub use launch::{abort_run, start_inference, EngineError, LaunchSpec};
 pub use result::InferenceResult;

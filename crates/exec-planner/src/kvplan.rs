@@ -83,6 +83,55 @@ pub fn is_wire_bound(page_bytes: u64, horizon_accesses: f64, pcie: &LinkSpec, hb
     choose_kv(page_bytes, horizon_accesses, pcie, hbm_bw) == KvPlacement::Dha
 }
 
+/// Crash-recovery choice for one interrupted decode session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestoreChoice {
+    /// Stream the session's checkpointed KV pages host→GPU and resume at
+    /// the checkpointed token step.
+    Restore,
+    /// Re-admit the session through the full prefill path, regenerating
+    /// from token zero.
+    Reprefill,
+}
+
+/// Time to stream `ckpt_bytes` of checkpointed KV host→GPU over a link
+/// believed to run at `rate_bps`, in seconds: one launch overhead plus
+/// wire time at the believed rate (the detector's inferred rate, not the
+/// nominal one, so a gray link biases recovery toward re-prefill).
+pub fn restore_secs(ckpt_bytes: u64, rate_bps: f64, launch_overhead_ns: u64) -> f64 {
+    launch_overhead_ns as f64 * 1e-9 + ckpt_bytes as f64 / rate_bps
+}
+
+/// Restore-vs-re-prefill crossover for one crash victim (the session
+/// analogue of [`choose_kv`]). Both paths are priced to their next
+/// emitted token:
+///
+/// * **Restore** streams the checkpointed pages and then runs one token
+///   step: `restore_secs + step_secs`.
+/// * **Re-prefill** re-runs prefill, which itself emits the first token:
+///   `prefill_secs` — but the session restarts at token zero, so this
+///   also discards every checkpointed token.
+///
+/// Restore wins when its wire time to the next token beats the prefill
+/// recompute; a session with nothing checkpointed (short sessions that
+/// crashed before their first checkpoint cadence) always re-prefills.
+pub fn choose_restore(
+    ckpt_bytes: u64,
+    rate_bps: f64,
+    launch_overhead_ns: u64,
+    prefill_secs: f64,
+    step_secs: f64,
+) -> RestoreChoice {
+    if ckpt_bytes == 0 || rate_bps <= 0.0 {
+        return RestoreChoice::Reprefill;
+    }
+    if restore_secs(ckpt_bytes, rate_bps, launch_overhead_ns) + step_secs < prefill_secs {
+        RestoreChoice::Restore
+    } else {
+        RestoreChoice::Reprefill
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +184,44 @@ mod tests {
         let fast = LinkSpec::new_gbps(23.0, 8.0); // A5000-style PCIe 4.0.
         let b = 64 << 10;
         assert!(crossover_accesses(b, &fast, 700e9) > crossover_accesses(b, &pcie(), HBM));
+    }
+
+    #[test]
+    fn unchckpointed_sessions_always_reprefill() {
+        assert_eq!(
+            choose_restore(0, 12e9, 10_000, 5e-3, 1e-4),
+            RestoreChoice::Reprefill
+        );
+    }
+
+    #[test]
+    fn restore_wins_when_wire_time_beats_prefill_recompute() {
+        // 3 MB of checkpointed KV at 12 GB/s ≈ 0.26 ms ≪ a 5 ms prefill.
+        assert_eq!(
+            choose_restore(3 << 20, 12e9, 10_000, 5e-3, 1e-4),
+            RestoreChoice::Restore
+        );
+        // A huge checkpoint over a crawling (gray) link loses to the
+        // recompute: 3 GB at 1 GB/s = 3 s vs a 5 ms prefill.
+        assert_eq!(
+            choose_restore(3 << 30, 1e9, 10_000, 5e-3, 1e-4),
+            RestoreChoice::Reprefill
+        );
+    }
+
+    #[test]
+    fn restore_crossover_is_monotone_in_ckpt_bytes() {
+        // Once re-prefill wins at some checkpoint size, it keeps winning
+        // for every larger checkpoint at the same believed rate.
+        let mut reprefill_seen = false;
+        for shift in 10..34 {
+            let c = choose_restore(1 << shift, 2e9, 10_000, 20e-3, 1e-4);
+            if reprefill_seen {
+                assert_eq!(c, RestoreChoice::Reprefill, "2^{shift}");
+            }
+            reprefill_seen |= c == RestoreChoice::Reprefill;
+        }
+        assert!(reprefill_seen, "crossover never reached");
     }
 
     #[test]

@@ -30,6 +30,8 @@ pub mod validate;
 
 pub use degraded::generate_degraded;
 pub use generate::{generate, PlanMode};
-pub use kvplan::{choose_kv, crossover_accesses, KvPlacement};
+pub use kvplan::{
+    choose_kv, choose_restore, crossover_accesses, restore_secs, KvPlacement, RestoreChoice,
+};
 pub use plan::{ExecutionPlan, LayerExec};
 pub use stall::{estimate_pipeline, ScheduleEstimate};

@@ -192,6 +192,107 @@ impl Default for DecodePolicy {
     }
 }
 
+/// One tenant-class SLO tier for decode sessions.
+///
+/// A request belongs to the tier with the largest `min_priority` not
+/// exceeding its own priority; requests below every tier floor fall back
+/// to the untiered behavior (global SLO, no TPOT budget).
+#[derive(Debug, Clone, Copy)]
+pub struct SloTier {
+    /// Lowest request priority admitted into this tier.
+    pub min_priority: u8,
+    /// Time-to-first-token budget: with early rejection configured, an
+    /// arrival whose estimated queue wait already exceeds this is shed.
+    pub ttft_slo: SimDur,
+    /// Mean time-per-output-token budget: once a session's elapsed decode
+    /// time can no longer land under `tpot_slo × (target − 1)` even if
+    /// every remaining step were free, the session is truncated.
+    pub tpot_slo: SimDur,
+}
+
+/// Decode-session resilience: incremental KV checkpointing, crash
+/// recovery by restore-or-re-prefill, preemptive session swap-out and
+/// TTFT/TPOT SLO tiers.
+///
+/// Disabled by default and fully inert when off: no checkpoint flow is
+/// started, no new probe event is emitted, and a decode run is
+/// byte-identical to a server without the resilience layer compiled in.
+#[derive(Debug, Clone)]
+pub struct ResiliencePolicy {
+    /// Master switch for the resilience layer.
+    pub enabled: bool,
+    /// Checkpoint cadence: a session becomes checkpoint-eligible once it
+    /// has generated this many tokens beyond its last checkpoint.
+    pub checkpoint_every: u64,
+    /// Bandwidth budget for checkpoint mirror traffic in bytes/sec,
+    /// metered by a token bucket refilled in sim time, so checkpointing
+    /// never starves foreground DHA reads and recalls. 0 disables
+    /// checkpointing (every crash victim re-prefills).
+    pub checkpoint_bw: f64,
+    /// Burst cap of the checkpoint token bucket, in bytes.
+    pub checkpoint_burst: u64,
+    /// Enable preemptive whole-session swap-out under KV-pool pressure
+    /// or priority inversion.
+    pub swap: bool,
+    /// Device-pool occupancy fraction at which swap-out triggers.
+    pub swap_out_above: f64,
+    /// Occupancy fraction below which frozen sessions resume (kept well
+    /// under `swap_out_above` for hysteresis, so the pool does not
+    /// thrash sessions in and out).
+    pub resume_below: f64,
+    /// TTFT/TPOT SLO tiers; empty disables tiered admission and the
+    /// token-level TPOT degradation policy.
+    pub tiers: Vec<SloTier>,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy {
+            enabled: false,
+            checkpoint_every: 4,
+            checkpoint_bw: 2e9,
+            checkpoint_burst: 8 << 20,
+            swap: true,
+            swap_out_above: 0.9,
+            resume_below: 0.5,
+            tiers: Vec::new(),
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// Three-class tier ladder used by `deepplan-cli serve --slo-tiers`:
+    /// best-effort (priority 0), standard (≥ 2) and premium (≥ 4).
+    pub fn default_tiers() -> Vec<SloTier> {
+        vec![
+            SloTier {
+                min_priority: 0,
+                ttft_slo: SimDur::from_millis(400),
+                tpot_slo: SimDur::from_millis(60),
+            },
+            SloTier {
+                min_priority: 2,
+                ttft_slo: SimDur::from_millis(200),
+                tpot_slo: SimDur::from_millis(40),
+            },
+            SloTier {
+                min_priority: 4,
+                ttft_slo: SimDur::from_millis(100),
+                tpot_slo: SimDur::from_millis(25),
+            },
+        ]
+    }
+
+    /// Tier for a request priority: the tier with the largest
+    /// `min_priority` that does not exceed `priority`.
+    pub fn tier_for(&self, priority: u8) -> Option<&SloTier> {
+        self.tiers
+            .iter()
+            .filter(|t| t.min_priority <= priority)
+            .max_by_key(|t| t.min_priority)
+    }
+}
+
 /// Configuration of one serving experiment.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -227,6 +328,9 @@ pub struct ServerConfig {
     /// Autoregressive-decode policy (paged KV cache, continuous
     /// batching, DHA KV offload).
     pub decode: DecodePolicy,
+    /// Decode-session resilience policy (KV checkpoint/restore, crash
+    /// migration, preemptive swap-out, SLO tiers).
+    pub decode_resilience: ResiliencePolicy,
 }
 
 impl ServerConfig {
@@ -247,6 +351,7 @@ impl ServerConfig {
             admission: AdmissionPolicy::default(),
             detection: DetectionPolicy::default(),
             decode: DecodePolicy::default(),
+            decode_resilience: ResiliencePolicy::default(),
         }
     }
 
@@ -263,6 +368,20 @@ impl ServerConfig {
 mod tests {
     use super::*;
     use gpu_topology::presets::p3_8xlarge;
+
+    #[test]
+    fn tier_lookup_picks_largest_floor_at_or_below_priority() {
+        let mut pol = ResiliencePolicy {
+            tiers: ResiliencePolicy::default_tiers(),
+            ..Default::default()
+        };
+        assert_eq!(pol.tier_for(0).unwrap().min_priority, 0);
+        assert_eq!(pol.tier_for(1).unwrap().min_priority, 0);
+        assert_eq!(pol.tier_for(3).unwrap().min_priority, 2);
+        assert_eq!(pol.tier_for(7).unwrap().min_priority, 4);
+        pol.tiers.clear();
+        assert!(pol.tier_for(5).is_none());
+    }
 
     #[test]
     fn v100_cache_holds_about_25_bert_base() {

@@ -73,8 +73,17 @@ pub struct KvPager {
     pub spills: u64,
     /// Pages recalled host→GPU over the pager's lifetime.
     pub recalls: u64,
-    /// Pages freed over the pager's lifetime.
+    /// Pages freed over the pager's lifetime
+    /// (always `frees_gpu + frees_host`).
     pub frees: u64,
+    /// Pages freed while device-resident over the pager's lifetime.
+    pub frees_gpu: u64,
+    /// Pages freed while host-resident (spilled) over the pager's
+    /// lifetime. Splitting the frees by the page's home at free time
+    /// keeps the lifetime ledger reconcilable even when a batch dies
+    /// mid-spill: `allocs == frees_gpu + frees_host` once drained, with
+    /// no page counted under both homes.
+    pub frees_host: u64,
 }
 
 impl KvPager {
@@ -101,6 +110,8 @@ impl KvPager {
             spills: 0,
             recalls: 0,
             frees: 0,
+            frees_gpu: 0,
+            frees_host: 0,
         }
     }
 
@@ -269,10 +280,12 @@ impl KvPager {
                 PageHome::Gpu(g) => {
                     self.gpu_used[g] -= 1;
                     freed.gpu += 1;
+                    self.frees_gpu += 1;
                 }
                 PageHome::Host => {
                     self.host_used -= 1;
                     freed.host += 1;
+                    self.frees_host += 1;
                 }
             }
             self.free.push(id);
@@ -447,6 +460,12 @@ mod tests {
         assert_eq!(freed, FreedPages { gpu: 1, host: 1 });
         assert_eq!(p.free_request(9), FreedPages::default());
         assert!(p.is_empty());
+        // Lifetime ledger reconciles by home: a page spilled before its
+        // request died counts once, as a host free, never under both.
+        assert_eq!(p.frees_gpu, 1);
+        assert_eq!(p.frees_host, 1);
+        assert_eq!(p.frees, p.frees_gpu + p.frees_host);
+        assert_eq!(p.allocs, p.frees_gpu + p.frees_host);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod workload;
 pub use catalog::DeployedModel;
 pub use config::{
     AdmissionPolicy, DecodePolicy, DetectionPolicy, FaultPolicy, KvMode, RecoveryPolicy,
-    ServerConfig,
+    ResiliencePolicy, ServerConfig, SloTier,
 };
 pub use detect::Detector;
 pub use kvcache::KvPager;

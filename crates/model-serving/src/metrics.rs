@@ -67,6 +67,38 @@ pub struct ServingReport {
     /// KV pages still live in the pager when the run drained — must be
     /// zero: every completed *or aborted* decode frees its pages.
     pub kv_live_pages_at_end: u64,
+    /// Lifetime KV page allocations by the pager (reconciliation:
+    /// `kv_allocs == kv_frees_gpu + kv_frees_host` once drained).
+    pub kv_allocs: u64,
+    /// Lifetime KV page frees whose page was device-resident when freed.
+    pub kv_frees_gpu: u64,
+    /// Lifetime KV page frees whose page had been spilled host-side.
+    pub kv_frees_host: u64,
+    /// Decode sessions that received at least one KV checkpoint.
+    pub ckpt_sessions: u64,
+    /// KV bytes mirrored to the pinned-host checkpoint pool.
+    pub ckpt_bytes: u64,
+    /// Crash victims the planner chose to restore from checkpoint.
+    pub restore_decisions: u64,
+    /// Crash victims the planner chose to re-prefill from scratch.
+    pub reprefill_decisions: u64,
+    /// Sessions whose checkpointed pages were streamed back and that
+    /// resumed decoding at their checkpointed token step.
+    pub sessions_restored: u64,
+    /// Crash victims re-admitted through the full prefill path.
+    pub sessions_reprefilled: u64,
+    /// Sessions frozen and batch-spilled by preemptive swap-out.
+    pub sessions_swapped: u64,
+    /// Swapped-out sessions resumed at their exact token step.
+    pub sessions_resumed: u64,
+    /// Sessions truncated by the TPOT degradation policy (completed
+    /// early with fewer tokens than requested).
+    pub sessions_truncated: u64,
+    /// Crash-to-next-token recovery latency (ms) for restored sessions.
+    pub recovery_restore_ttft: Samples,
+    /// Crash-to-next-token recovery latency (ms) for re-prefilled
+    /// sessions.
+    pub recovery_reprefill_ttft: Samples,
     /// Discrete events the simulation kernel executed for this run
     /// (perf-trajectory metric; independent of any policy).
     pub sim_events: u64,
@@ -105,6 +137,20 @@ impl ServingReport {
             kv_dha_reads: 0,
             kv_alloc_failures: 0,
             kv_live_pages_at_end: 0,
+            kv_allocs: 0,
+            kv_frees_gpu: 0,
+            kv_frees_host: 0,
+            ckpt_sessions: 0,
+            ckpt_bytes: 0,
+            restore_decisions: 0,
+            reprefill_decisions: 0,
+            sessions_restored: 0,
+            sessions_reprefilled: 0,
+            sessions_swapped: 0,
+            sessions_resumed: 0,
+            sessions_truncated: 0,
+            recovery_restore_ttft: Samples::new(),
+            recovery_reprefill_ttft: Samples::new(),
             sim_events: 0,
             slo,
         }
@@ -172,6 +218,20 @@ pub fn metrics_spec(
         cfg.machine.gpu_count(),
     );
     spec.slo.slo_ns = cfg.slo.as_nanos();
+    // With SLO tiers active, the burn monitor watches the tightest
+    // tier's TTFT budget — a burn alert on the premium class is the one
+    // an operator must see first.
+    if cfg.decode_resilience.enabled {
+        if let Some(tightest) = cfg
+            .decode_resilience
+            .tiers
+            .iter()
+            .map(|t| t.ttft_slo.as_nanos())
+            .min()
+        {
+            spec.slo.slo_ns = tightest;
+        }
+    }
     spec
 }
 

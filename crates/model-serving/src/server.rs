@@ -10,15 +10,15 @@
 //! serving its own queue (only its links are shared, which is exactly the
 //! interference the paper measures in Table 4).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
-use exec_engine::decode::{abort_decode, begin_decode, start_token_step, StepSpec};
+use exec_engine::decode::{abort_decode, begin_decode, start_token_step, stream_kv, StepSpec};
 use exec_engine::hw::{DecodeRef, HasHw, HwState, RunRef};
 use exec_engine::launch::{abort_run, start_inference, DoneFn, HedgeSpec, LaunchSpec};
 use exec_engine::result::InferenceResult;
 use exec_planner::generate_degraded;
-use exec_planner::kvplan::{choose_kv, KvPlacement};
+use exec_planner::kvplan::{choose_kv, choose_restore, KvPlacement, RestoreChoice};
 use exec_planner::plan::ExecutionPlan;
 use gpu_topology::health::{GpuHealth, LinkHealth};
 use gpu_topology::select::pt_group;
@@ -88,6 +88,19 @@ struct DecodeEntry {
     cold: bool,
 }
 
+/// Host-side checkpoint record of one decode session: the token step the
+/// pinned-host mirror covers and the page-rounded bytes mirrored.
+/// Deliberately *not* pager state — it must survive the session's batch
+/// and GPU, since crash recovery reads it after `gpu_fail` freed every
+/// one of the session's pages.
+#[derive(Clone, Copy, Default)]
+struct CkptState {
+    /// Token step the mirror covers.
+    tokens: u64,
+    /// Page-rounded KV footprint mirrored at that step.
+    bytes: u64,
+}
+
 /// Per-GPU continuous batch: requests join at token boundaries as their
 /// prefills finish and leave as they hit their target length. At most
 /// one token step is in flight per GPU, and prefills alternate with
@@ -153,6 +166,23 @@ pub struct ServerState {
     /// loaded under the old plan keep their old footprint until evicted
     /// or migrated.
     inst_resident: Vec<u64>,
+    // --- resilience state (inert unless cfg.decode_resilience.enabled) ---
+    /// Per-session checkpoint records, by request id.
+    ckpts: BTreeMap<u64, CkptState>,
+    /// Whether a checkpoint mirror flow is in flight, per GPU (at most
+    /// one, so mirrors never pile onto a struggling wire).
+    ckpt_inflight: Vec<bool>,
+    /// Per-GPU checkpoint epoch; a crash bumps it so an in-flight
+    /// mirror's completion commits nothing.
+    ckpt_epoch: Vec<u64>,
+    /// Checkpoint bandwidth token bucket: bytes currently available.
+    ckpt_tokens: f64,
+    /// Last lazy refill of the checkpoint token bucket.
+    ckpt_refilled: SimTime,
+    /// Sessions frozen by preemptive swap-out, in FIFO resume order.
+    swapped: VecDeque<DecodeEntry>,
+    /// Crash time per victim session, for TTFT-to-recovery samples.
+    crashed_at: BTreeMap<u64, SimTime>,
     // --- detection state (inert unless cfg.detection.enabled) ---
     /// Observation-driven health inference; `Some` iff detection is on.
     detector: Option<Detector>,
@@ -243,6 +273,13 @@ impl ServerState {
             active_plans,
             plan_signature: None,
             inst_resident,
+            ckpts: BTreeMap::new(),
+            ckpt_inflight: vec![false; n_gpus],
+            ckpt_epoch: vec![0; n_gpus],
+            ckpt_tokens: 0.0,
+            ckpt_refilled: SimTime::ZERO,
+            swapped: VecDeque::new(),
+            crashed_at: BTreeMap::new(),
             detector,
             silent_link_factor: vec![1.0; n_links],
             silent_gpu_factor: vec![1.0; n_gpus],
@@ -384,10 +421,17 @@ impl ServerState {
             || self.busy.iter().any(|&b| b)
             || self.queues.iter().any(|q| !q.is_empty())
             || self.batches.iter().any(|b| !b.entries.is_empty())
+            || !self.swapped.is_empty()
     }
 
     /// Sheds a request: counted, never served.
     fn shed(&mut self, at: SimTime, req: u64, instance: usize, cause: ShedCause) {
+        if self.cfg.decode_resilience.enabled {
+            // A shed session will never resume or restore; drop its
+            // recovery bookkeeping so the maps stay bounded.
+            self.ckpts.remove(&req);
+            self.crashed_at.remove(&req);
+        }
         self.report.shed += 1;
         self.probe.emit(
             at,
@@ -504,6 +548,23 @@ fn admit(
         if est_wait > factor * s.cfg.slo.as_nanos() as f64 {
             s.shed(ctx.now(), req_id, req.instance, ShedCause::SloReject);
             return false;
+        }
+    }
+    if s.cfg.decode_resilience.enabled {
+        // Tiered TTFT admission: a tenant class whose first token cannot
+        // plausibly land inside its tier's TTFT budget is rejected at
+        // the edge rather than served hopelessly late. The same
+        // optimistic everything-ahead-runs-warm wait estimate as
+        // `slo_reject_factor`, judged against the per-tier budget.
+        let tier = s.cfg.decode_resilience.tier_for(req.priority).copied();
+        if let Some(tier) = tier {
+            let kind = s.instances[req.instance].kind;
+            let per_req = s.kinds[kind].profile.exec_inmem_total().as_nanos() as f64;
+            let est_wait = per_req * depth as f64;
+            if est_wait > tier.ttft_slo.as_nanos() as f64 {
+                s.shed(ctx.now(), req_id, req.instance, ShedCause::SloReject);
+                return false;
+            }
         }
     }
     true
@@ -795,6 +856,17 @@ fn join_batch(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize, e: Deco
     if e.arrival >= s.measure_from {
         s.report.ttft.push((e.prefill_done - e.arrival).as_ms_f64());
     }
+    if s.cfg.decode_resilience.enabled {
+        // A crash victim re-entering through a fresh prefill just
+        // recomputed its KV from scratch; its recovery latency is the
+        // crash-to-first-new-token span.
+        if let Some(t0) = s.crashed_at.remove(&e.req) {
+            s.report.sessions_reprefilled += 1;
+            s.report
+                .recovery_reprefill_ttft
+                .push((e.prefill_done - t0).as_ms_f64());
+        }
+    }
     s.batches[g].entries.push(e);
     decode_pump(s, ctx, g);
 }
@@ -810,6 +882,9 @@ fn decode_pump(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     if s.busy[g] || s.batches[g].stepping || !s.gpu_up.is_up(g) {
         return;
     }
+    if s.cfg.decode_resilience.enabled {
+        maybe_swap(s, ctx, g);
+    }
     if !s.queues[g].is_empty() && s.batches[g].entries.len() < s.cfg.decode.max_batch {
         try_dispatch(s, ctx, g);
         if s.busy[g] {
@@ -820,6 +895,113 @@ fn decode_pump(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         return;
     }
     start_step(s, ctx, g);
+}
+
+/// Preemptive session swap at the token boundary of GPU `g` (resilience
+/// only). Swap-out freezes the batch's lowest-priority session when the
+/// device pool is nearly full — or when a higher-priority prefill is
+/// stuck behind a full batch (priority inversion) — batch-spilling its
+/// device pages to the pinned-host pool and parking the entry off-batch
+/// with its exact token step. Resume is the reverse, FIFO, once pressure
+/// clears (hysteresis: `resume_below < swap_out_above`) or the batch
+/// goes idle; the session's pages flow back through the ordinary
+/// recall/DHA placement of its next step.
+fn maybe_swap(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    if !s.cfg.decode_resilience.swap {
+        return;
+    }
+    let now = ctx.now();
+    let occupancy = |s: &ServerState| -> f64 {
+        let pager = s.pager.as_ref().expect("decode enabled implies pager");
+        let cap = pager.gpu_cap_pages(g);
+        if cap == 0 {
+            return 0.0;
+        }
+        pager.gpu_used_pages(g) as f64 / cap as f64
+    };
+    if s.pager.is_none() {
+        return;
+    }
+    let mut swapped_now = false;
+    let inversion = s.batches[g].entries.len() >= s.cfg.decode.max_batch
+        && s.queues[g]
+            .front()
+            .is_some_and(|q| s.batches[g].entries.iter().any(|e| e.priority < q.priority));
+    if (occupancy(s) >= s.cfg.decode_resilience.swap_out_above || inversion)
+        && s.batches[g].entries.len() > 1
+    {
+        // Victim: lowest priority; ties break to the youngest session
+        // (largest request id) — it has the least KV to move.
+        let vi = s.batches[g]
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| (e.priority, u64::MAX - e.req))
+            .map(|(i, _)| i)
+            .expect("batch non-empty");
+        let e = s.batches[g].entries.remove(vi);
+        let device_pages: Vec<crate::kvcache::PageId> = {
+            let pager = s.pager.as_ref().expect("decode enabled implies pager");
+            pager
+                .pages_of(e.req)
+                .iter()
+                .copied()
+                .filter(|&p| matches!(pager.page(p), Some(pg) if pg.home == PageHome::Gpu(g)))
+                .collect()
+        };
+        let mut spilled = 0u64;
+        for p in device_pages {
+            let pager = s.pager.as_mut().expect("decode enabled implies pager");
+            if pager.spill(p) {
+                spilled += 1;
+                s.report.kv_spills += 1;
+                s.probe.emit(
+                    now,
+                    ProbeEvent::KvPageSpill {
+                        req: e.req,
+                        gpu: g,
+                        page: p,
+                    },
+                );
+            }
+        }
+        s.report.sessions_swapped += 1;
+        s.probe.emit(
+            now,
+            ProbeEvent::SessionSwappedOut {
+                req: e.req,
+                gpu: g,
+                tokens: e.tokens_done,
+                pages: spilled,
+            },
+        );
+        s.swapped.push_back(e);
+        swapped_now = true;
+    }
+    if swapped_now || s.swapped.is_empty() {
+        return;
+    }
+    let room = s.batches[g].entries.len() < s.cfg.decode.max_batch;
+    if room
+        && (occupancy(s) < s.cfg.decode_resilience.resume_below || s.batches[g].entries.is_empty())
+    {
+        let e = s.swapped.pop_front().expect("checked non-empty");
+        let host_pages = {
+            let pager = s.pager.as_ref().expect("decode enabled implies pager");
+            pager.host_pages_of(e.req)
+        };
+        s.report.sessions_resumed += 1;
+        s.probe.emit(
+            now,
+            ProbeEvent::SessionResumed {
+                req: e.req,
+                gpu: g,
+                tokens: e.tokens_done,
+                pages: host_pages,
+            },
+        );
+        s.batches[g].entries.push(e);
+    }
 }
 
 /// Launches one token step on GPU `g`: grows each entry's paged KV by
@@ -1031,6 +1213,36 @@ fn step_done(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize, step_id:
     for e in s.batches[g].entries.iter_mut() {
         e.tokens_done += 1;
     }
+    if s.cfg.decode_resilience.enabled && !s.cfg.decode_resilience.tiers.is_empty() {
+        // Token-level degradation: once a session's elapsed decode time
+        // already exceeds its tier's whole-session TPOT budget, no
+        // finite remaining speed can bring the mean TPOT back under the
+        // SLO — finish it at the current token instead of burning steps
+        // on an SLO-dead stream.
+        for i in 0..s.batches[g].entries.len() {
+            let e = s.batches[g].entries[i];
+            if e.tokens_done >= e.tokens_target {
+                continue;
+            }
+            let Some(tier) = s.cfg.decode_resilience.tier_for(e.priority).copied() else {
+                continue;
+            };
+            let budget = tier.tpot_slo.as_nanos() * (e.tokens_target - 1).max(1);
+            if (now - e.prefill_done).as_nanos() > budget {
+                s.report.sessions_truncated += 1;
+                s.probe.emit(
+                    now,
+                    ProbeEvent::SessionTruncated {
+                        req: e.req,
+                        gpu: g,
+                        tokens: e.tokens_done,
+                        target: e.tokens_target,
+                    },
+                );
+                s.batches[g].entries[i].tokens_target = e.tokens_done;
+            }
+        }
+    }
     let mut finished: Vec<DecodeEntry> = Vec::new();
     s.batches[g].entries.retain(|e| {
         if e.tokens_done >= e.tokens_target {
@@ -1076,13 +1288,149 @@ fn step_done(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize, step_id:
             s.report.decode_completed += 1;
             s.report.tokens_generated += e.tokens_target;
         }
+        if s.cfg.decode_resilience.enabled {
+            s.ckpts.remove(&e.req);
+            s.crashed_at.remove(&e.req);
+        }
     }
     if s.batches[g].entries.is_empty() {
         if let Some(r) = s.batches[g].run.take() {
             abort_decode(s, ctx, r);
         }
     }
+    if s.cfg.decode_resilience.enabled {
+        maybe_checkpoint(s, ctx, g);
+    }
     decode_pump(s, ctx, g);
+}
+
+/// Incremental KV checkpointing at the token boundary of GPU `g`
+/// (resilience only). Sessions whose last mirror is `checkpoint_every`
+/// or more tokens stale re-mirror their page-rounded footprint delta
+/// (plus the always-dirty tail page) to the pinned-host pool, in batch
+/// order, until the checkpoint bandwidth token bucket runs dry. The
+/// mirror is one merged device→host stream through the flow network —
+/// it genuinely contends with recalls, DHA reads and weight loads — and
+/// commits only if no crash bumped the GPU's checkpoint epoch while it
+/// was on the wire.
+fn maybe_checkpoint(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
+    let pol = &s.cfg.decode_resilience;
+    if !pol.enabled
+        || pol.checkpoint_bw <= 0.0
+        || s.ckpt_inflight[g]
+        || s.batches[g].entries.is_empty()
+    {
+        return;
+    }
+    let every = pol.checkpoint_every.max(1);
+    let bw = pol.checkpoint_bw;
+    let burst = pol.checkpoint_burst as f64;
+    let now = ctx.now();
+    // Lazy token-bucket refill from sim time — deterministic, no timers.
+    let dt = (now - s.ckpt_refilled).as_secs_f64();
+    s.ckpt_tokens = (s.ckpt_tokens + dt * bw).min(burst);
+    s.ckpt_refilled = now;
+    let page_bytes = s
+        .pager
+        .as_ref()
+        .expect("decode enabled implies pager")
+        .page_bytes();
+    let entries: Vec<DecodeEntry> = s.batches[g].entries.clone();
+    // (req, covered tokens, covered bytes, bytes crossing the wire now)
+    let mut batch: Vec<(u64, u64, u64, u64)> = Vec::new();
+    let mut spend = 0u64;
+    for e in &entries {
+        let prev = s.ckpts.get(&e.req).copied().unwrap_or_default();
+        if e.tokens_done < prev.tokens + every {
+            continue;
+        }
+        let kind = s.instances[e.instance].kind;
+        let prof = s.kinds[kind]
+            .decode
+            .expect("batch entries are decoder kinds");
+        let total = s
+            .pager
+            .as_ref()
+            .expect("decode enabled implies pager")
+            .pages_for(prof.kv_bytes(e.prompt_tokens + e.tokens_done))
+            * page_bytes;
+        // The tail page is always dirty — tokens appended since the last
+        // mirror landed inside it — so a delta of zero whole pages still
+        // re-ships one page.
+        let delta = total.saturating_sub(prev.bytes).max(page_bytes);
+        if spend + delta > s.ckpt_tokens as u64 {
+            // A first mirror bigger than the whole burst would starve
+            // forever behind a brim-full bucket; ship it alone and run
+            // the bucket dry (the debt throttles later mirrors).
+            if batch.is_empty() && s.ckpt_tokens >= burst {
+                spend = delta;
+                batch.push((e.req, e.tokens_done, total, delta));
+            }
+            break; // Budget exhausted; later sessions wait their turn.
+        }
+        spend += delta;
+        batch.push((e.req, e.tokens_done, total, delta));
+    }
+    if batch.is_empty() {
+        return;
+    }
+    s.ckpt_tokens = (s.ckpt_tokens - spend as f64).max(0.0);
+    s.ckpt_inflight[g] = true;
+    let epoch = s.ckpt_epoch[g];
+    stream_kv(
+        s,
+        ctx,
+        g,
+        spend as f64,
+        Box::new(move |s: &mut ServerState, ctx| ckpt_done(s, ctx, g, epoch, batch)),
+    );
+}
+
+/// A checkpoint mirror stream drained on GPU `g`: commit the covered
+/// sessions' records, unless a crash invalidated the stream (epoch
+/// mismatch — the device-side pages it was copying died with the GPU).
+/// Sessions that left the batch while the mirror was on the wire
+/// (finished, swapped out) commit nothing.
+fn ckpt_done(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    g: usize,
+    epoch: u64,
+    batch: Vec<(u64, u64, u64, u64)>,
+) {
+    if s.ckpt_epoch[g] != epoch {
+        return; // The GPU crashed mid-mirror; gpu_fail reset inflight.
+    }
+    s.ckpt_inflight[g] = false;
+    let now = ctx.now();
+    for (req, tokens, total, delta) in batch {
+        if !s.batches[g].entries.iter().any(|e| e.req == req) {
+            continue;
+        }
+        if s.ckpts
+            .insert(
+                req,
+                CkptState {
+                    tokens,
+                    bytes: total,
+                },
+            )
+            .is_none()
+        {
+            s.report.ckpt_sessions += 1;
+        }
+        s.report.ckpt_bytes += delta;
+        s.probe.emit(
+            now,
+            ProbeEvent::KvCheckpoint {
+                req,
+                gpu: g,
+                tokens,
+                bytes: delta,
+            },
+        );
+    }
+    maybe_checkpoint(s, ctx, g);
 }
 
 /// Feeds the detector everything observable from one completed run:
@@ -1369,6 +1717,12 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
         if let Some(r) = s.batches[g].run.take() {
             abort_decode(s, ctx, r);
         }
+        if s.cfg.decode_resilience.enabled {
+            // Invalidate any checkpoint mirror on the wire: the device
+            // pages it was copying died with the GPU.
+            s.ckpt_epoch[g] += 1;
+            s.ckpt_inflight[g] = false;
+        }
         let entries: Vec<DecodeEntry> = s.batches[g].entries.drain(..).collect();
         for e in entries {
             if let Some(p) = s.pager.as_mut() {
@@ -1376,6 +1730,10 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             }
             s.instances[e.instance].active -= 1;
             s.report.aborted_runs += 1;
+            if s.cfg.decode_resilience.enabled {
+                crash_recover_session(s, ctx, g, e);
+                continue;
+            }
             let attempt = e.attempt + 1;
             let backoff =
                 SimDur::from_nanos(s.cfg.faults.retry_backoff.as_nanos() * u64::from(attempt));
@@ -1417,7 +1775,229 @@ fn gpu_fail(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
             },
         );
     }
+    if s.cfg.decode_resilience.enabled && !s.swapped.is_empty() {
+        // Swapped-out sessions are not tied to the dead GPU; give every
+        // survivor's pump a chance to resume them so none strand.
+        for g2 in 0..s.gpu_up.len() {
+            if s.gpu_up.is_up(g2) {
+                decode_pump(s, ctx, g2);
+            }
+        }
+    }
     note_topology_change(s, ctx);
+}
+
+/// Crash recovery for one decode session whose GPU died (resilience
+/// only): restore-from-checkpoint or re-prefill, chosen per victim with
+/// the planner's cost crossover — wire time of the checkpointed bytes at
+/// the survivor's *believed* host-path rate (detector quarantines steer
+/// `pick_gpu`, announced degradations stretch the rate) plus one decode
+/// step, against the prefill's in-memory recompute time. An
+/// uncheckpointed session always re-prefills. Re-prefill rides the
+/// existing backoff/retry path; restore replays the pinned-host mirror
+/// onto the survivor and rejoins its batch at the exact checkpointed
+/// token step.
+fn crash_recover_session(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    dead: usize,
+    e: DecodeEntry,
+) {
+    let now = ctx.now();
+    // Keep the first crash time: a victim that crashes again
+    // mid-recovery still measures recovery from the original loss.
+    s.crashed_at.entry(e.req).or_insert(now);
+    let ckpt = s.ckpts.get(&e.req).copied().unwrap_or_default();
+    let survivor = s.pick_gpu();
+    let kind = s.instances[e.instance].kind;
+    let prefill_secs = s.kinds[kind].profile.exec_inmem_total().as_secs_f64();
+    let choice = match survivor {
+        Some(g2) => {
+            let step_secs = s.kinds[kind]
+                .decode
+                .expect("decode entries are decoder kinds")
+                .weight_bytes as f64
+                / s.cfg.machine.gpu(g2).mem_bw;
+            choose_restore(
+                ckpt.bytes,
+                s.believed_path_rate(g2),
+                s.cfg.machine.gpu(g2).pcie.launch_overhead_ns,
+                prefill_secs,
+                step_secs,
+            )
+        }
+        None => RestoreChoice::Reprefill,
+    };
+    let restore = choice == RestoreChoice::Restore;
+    s.probe.emit(
+        now,
+        ProbeEvent::RestoreDecision {
+            req: e.req,
+            gpu: survivor.unwrap_or(dead),
+            restore,
+            ckpt_tokens: ckpt.tokens,
+            ckpt_bytes: ckpt.bytes,
+        },
+    );
+    let attempt = e.attempt + 1;
+    let backoff = SimDur::from_nanos(s.cfg.faults.retry_backoff.as_nanos() * u64::from(attempt));
+    if restore {
+        s.report.restore_decisions += 1;
+        let job = DecodeEntry { attempt, ..e };
+        ctx.schedule_in(
+            backoff,
+            Box::new(move |s: &mut ServerState, ctx| start_restore(s, ctx, job, ckpt)),
+        );
+    } else {
+        s.report.reprefill_decisions += 1;
+        // The mirror's backing pages died with the session's pager
+        // state; a re-prefilled session re-checkpoints from scratch.
+        s.ckpts.remove(&e.req);
+        let q = Queued {
+            req: e.req,
+            instance: e.instance,
+            arrival: e.arrival,
+            attempt,
+            priority: e.priority,
+            prompt_tokens: e.prompt_tokens as u32,
+            output_tokens: e.tokens_target as u32,
+        };
+        ctx.schedule_in(
+            backoff,
+            Box::new(move |s: &mut ServerState, ctx| requeue(s, ctx, q)),
+        );
+    }
+}
+
+/// Fires after the crash backoff: re-pick the restore target against the
+/// *current* topology, re-pin the instance, and replay the checkpoint
+/// mirror (plus the weights when they are cold) onto the target as one
+/// host→device stream.
+fn start_restore(s: &mut ServerState, ctx: &mut Ctx<ServerState>, e: DecodeEntry, ckpt: CkptState) {
+    let now = ctx.now();
+    if e.attempt > s.cfg.faults.max_retries {
+        s.shed(now, e.req, e.instance, ShedCause::RetriesExhausted);
+        return;
+    }
+    // Decode must run where the weights are: follow the instance if it
+    // came back resident elsewhere during the backoff.
+    let target = match s.instances[e.instance].gpu() {
+        Some(gi) if s.gpu_up.is_up(gi) => Some(gi),
+        _ => s.pick_gpu(),
+    };
+    let Some(g2) = target else {
+        s.shed(now, e.req, e.instance, ShedCause::NoCapacity);
+        return;
+    };
+    let mut stream_bytes = ckpt.bytes;
+    if s.instances[e.instance].residency == Residency::NotResident {
+        let kind = s.instances[e.instance].kind;
+        let bytes = s.sizes[kind];
+        let evicted = {
+            let (caches, instances) = (&mut s.caches, &mut s.instances);
+            make_room_with(
+                &mut caches[g2],
+                g2,
+                instances,
+                &s.inst_resident,
+                bytes,
+                s.cfg.eviction,
+                now.as_nanos(),
+            )
+        };
+        match evicted {
+            Some(victims) => {
+                s.report.evictions += victims.len() as u64;
+                s.caches[g2].used += bytes;
+                s.inst_resident[e.instance] = bytes;
+                s.instances[e.instance].residency = Residency::Loading(g2);
+                s.emit_cache(now, g2);
+                // Cold weights ride the same replay stream as the KV.
+                stream_bytes += bytes;
+            }
+            None => {
+                // Cache full of busy instances: fall back to the
+                // ordinary re-prefill retry path, which waits for a
+                // drain instead of spinning here.
+                s.ckpts.remove(&e.req);
+                requeue(
+                    s,
+                    ctx,
+                    Queued {
+                        req: e.req,
+                        instance: e.instance,
+                        arrival: e.arrival,
+                        attempt: e.attempt,
+                        priority: e.priority,
+                        prompt_tokens: e.prompt_tokens as u32,
+                        output_tokens: e.tokens_target as u32,
+                    },
+                );
+                return;
+            }
+        }
+    }
+    s.report.retries += 1;
+    s.probe.emit(
+        now,
+        ProbeEvent::RequestRetried {
+            req: e.req,
+            instance: e.instance,
+            gpu: g2,
+            attempt: e.attempt,
+        },
+    );
+    s.instances[e.instance].active += 1;
+    s.instances[e.instance].last_used = now;
+    stream_kv(
+        s,
+        ctx,
+        g2,
+        stream_bytes as f64,
+        Box::new(move |s: &mut ServerState, ctx| finish_restore(s, ctx, g2, e, ckpt)),
+    );
+}
+
+/// A restore replay drained on GPU `g`: the session rejoins the batch at
+/// its exact checkpointed token step. If `g` died while the replay was
+/// on the wire, the whole recovery decision is retried against the new
+/// topology (the attempt counter still climbs, so a flapping cluster
+/// exhausts retries rather than looping forever).
+fn finish_restore(
+    s: &mut ServerState,
+    ctx: &mut Ctx<ServerState>,
+    g: usize,
+    e: DecodeEntry,
+    ckpt: CkptState,
+) {
+    let now = ctx.now();
+    if !s.gpu_up.is_up(g) {
+        s.instances[e.instance].active -= 1;
+        crash_recover_session(s, ctx, g, e);
+        return;
+    }
+    if s.instances[e.instance].residency == Residency::Loading(g) {
+        s.instances[e.instance].residency = Residency::Resident(g);
+    }
+    let entry = DecodeEntry {
+        prefill_done: now,
+        tokens_done: ckpt.tokens.max(1),
+        ..e
+    };
+    s.report.sessions_restored += 1;
+    let t0 = s.crashed_at.remove(&e.req).unwrap_or(now);
+    s.report.recovery_restore_ttft.push((now - t0).as_ms_f64());
+    s.probe.emit(
+        now,
+        ProbeEvent::SessionRestored {
+            req: e.req,
+            gpu: g,
+            tokens: entry.tokens_done,
+            bytes: ckpt.bytes,
+        },
+    );
+    s.batches[g].entries.push(entry);
+    decode_pump(s, ctx, g);
 }
 
 /// GPU `g` came back — empty: cold caches, fresh contexts.
@@ -1428,6 +2008,10 @@ fn gpu_recover(s: &mut ServerState, ctx: &mut Ctx<ServerState>, g: usize) {
     s.probe.emit(ctx.now(), ProbeEvent::GpuRecovered { gpu: g });
     note_topology_change(s, ctx);
     try_dispatch(s, ctx, g);
+    if s.cfg.decode_resilience.enabled {
+        // A recovered GPU can adopt swapped-out sessions immediately.
+        decode_pump(s, ctx, g);
+    }
 }
 
 /// A health transition happened (GPU up/down, link degrade/restore):
@@ -1968,6 +2552,11 @@ pub fn run_server_faulted(
     state.report.hedged_transfers = state.flows.hedged;
     state.report.checksum_refetches = state.hw.refetches;
     state.report.kv_live_pages_at_end = state.pager.as_ref().map_or(0, |p| p.live_pages() as u64);
+    if let Some(p) = state.pager.as_ref() {
+        state.report.kv_allocs = p.allocs;
+        state.report.kv_frees_gpu = p.frees_gpu;
+        state.report.kv_frees_host = p.frees_host;
+    }
     state.report
 }
 

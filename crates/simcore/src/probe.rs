@@ -594,6 +594,80 @@ pub enum ProbeEvent {
         /// Mean time per output token after the first, in nanoseconds.
         tpot_ns: u64,
     },
+    /// A slice of a decode session's KV was mirrored to the pinned-host
+    /// checkpoint pool (incremental checkpoint, bandwidth-budgeted).
+    KvCheckpoint {
+        /// Request id of the checkpointed session.
+        req: u64,
+        /// GPU the session was decoding on.
+        gpu: usize,
+        /// Token step the checkpoint now covers.
+        tokens: u64,
+        /// Bytes mirrored by this checkpoint slice.
+        bytes: u64,
+    },
+    /// Crash-recovery decision for one victim session: restore from
+    /// checkpoint vs re-prefill, per the planner's cost crossover.
+    RestoreDecision {
+        /// Request id of the crash victim.
+        req: u64,
+        /// Surviving GPU the decision was priced against.
+        gpu: usize,
+        /// Whether the planner chose restore (vs re-prefill).
+        restore: bool,
+        /// Token step the session's checkpoint covered at crash time.
+        ckpt_tokens: u64,
+        /// Checkpointed bytes available for restore.
+        ckpt_bytes: u64,
+    },
+    /// A crash victim's checkpointed KV finished streaming host→GPU and
+    /// the session rejoined a batch at its checkpointed token step.
+    SessionRestored {
+        /// Request id.
+        req: u64,
+        /// Surviving GPU the session resumed on.
+        gpu: usize,
+        /// Token step the session resumed at.
+        tokens: u64,
+        /// Checkpointed bytes streamed back.
+        bytes: u64,
+    },
+    /// A low-priority session was preemptively frozen and its device
+    /// pages batch-spilled to the pinned-host pool.
+    SessionSwappedOut {
+        /// Request id.
+        req: u64,
+        /// GPU the session was frozen on.
+        gpu: usize,
+        /// Token step the session was frozen at.
+        tokens: u64,
+        /// Device pages spilled by the swap-out.
+        pages: u64,
+    },
+    /// A swapped-out session thawed and rejoined a batch at the exact
+    /// token step it was frozen at.
+    SessionResumed {
+        /// Request id.
+        req: u64,
+        /// GPU the session resumed on.
+        gpu: usize,
+        /// Token step the session resumed at.
+        tokens: u64,
+        /// Host-resident pages the session brought back.
+        pages: u64,
+    },
+    /// The TPOT degradation policy truncated a session whose per-token
+    /// budget was already unrecoverable.
+    SessionTruncated {
+        /// Request id.
+        req: u64,
+        /// Decoding GPU.
+        gpu: usize,
+        /// Tokens the session completes with.
+        tokens: u64,
+        /// Tokens the session originally asked for.
+        target: u64,
+    },
 }
 
 impl ProbeEvent {
@@ -645,6 +719,12 @@ impl ProbeEvent {
             ProbeEvent::KvPageSpill { .. } => "kv_page_spill",
             ProbeEvent::KvPageRecall { .. } => "kv_page_recall",
             ProbeEvent::DecodeFinished { .. } => "decode_finished",
+            ProbeEvent::KvCheckpoint { .. } => "kv_checkpoint",
+            ProbeEvent::RestoreDecision { .. } => "restore_decision",
+            ProbeEvent::SessionRestored { .. } => "session_restored",
+            ProbeEvent::SessionSwappedOut { .. } => "session_swapped_out",
+            ProbeEvent::SessionResumed { .. } => "session_resumed",
+            ProbeEvent::SessionTruncated { .. } => "session_truncated",
         }
     }
 }
@@ -1076,6 +1156,61 @@ fn jsonl_line(out: &mut String, e: &Event) {
         } => write!(
             out,
             r#","req":{req},"gpu":{gpu},"tokens":{tokens},"ttft_ns":{ttft_ns},"tpot_ns":{tpot_ns}"#
+        ),
+        ProbeEvent::KvCheckpoint {
+            req,
+            gpu,
+            tokens,
+            bytes,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"bytes":{bytes}"#
+        ),
+        ProbeEvent::RestoreDecision {
+            req,
+            gpu,
+            restore,
+            ckpt_tokens,
+            ckpt_bytes,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"restore":{restore},"ckpt_tokens":{ckpt_tokens},"ckpt_bytes":{ckpt_bytes}"#
+        ),
+        ProbeEvent::SessionRestored {
+            req,
+            gpu,
+            tokens,
+            bytes,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"bytes":{bytes}"#
+        ),
+        ProbeEvent::SessionSwappedOut {
+            req,
+            gpu,
+            tokens,
+            pages,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"pages":{pages}"#
+        ),
+        ProbeEvent::SessionResumed {
+            req,
+            gpu,
+            tokens,
+            pages,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"pages":{pages}"#
+        ),
+        ProbeEvent::SessionTruncated {
+            req,
+            gpu,
+            tokens,
+            target,
+        } => write!(
+            out,
+            r#","req":{req},"gpu":{gpu},"tokens":{tokens},"target":{target}"#
         ),
     }
     .expect("writing to String cannot fail");
@@ -1607,6 +1742,92 @@ pub fn to_perfetto(events: &[Event], opts: &PerfettoOptions) -> String {
                     tpot_ns as f64 / 1e6
                 ));
             }
+            ProbeEvent::KvCheckpoint {
+                req,
+                gpu,
+                tokens,
+                bytes,
+            } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"kv checkpoint","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"tokens":{tokens},"bytes":{bytes}}}}}"#
+                ));
+            }
+            ProbeEvent::RestoreDecision {
+                req,
+                gpu,
+                restore,
+                ckpt_tokens,
+                ckpt_bytes,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"{}","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"restore":{restore},"ckpt_tokens":{ckpt_tokens},"ckpt_bytes":{ckpt_bytes}}}}}"#,
+                    if restore { "restore" } else { "re-prefill" }
+                ));
+            }
+            ProbeEvent::SessionRestored {
+                req,
+                gpu,
+                tokens,
+                bytes,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"session restored","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"tokens":{tokens},"bytes":{bytes}}}}}"#
+                ));
+            }
+            ProbeEvent::SessionSwappedOut {
+                req,
+                gpu,
+                tokens,
+                pages,
+            } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"swap out","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"tokens":{tokens},"pages":{pages}}}}}"#
+                ));
+            }
+            ProbeEvent::SessionResumed {
+                req,
+                gpu,
+                tokens,
+                pages,
+            } => {
+                let tid = TID_DECODE_BASE + gpu as u64;
+                lane(&mut lanes, PID_ENGINE, tid, format!("gpu{gpu} decode"));
+                body.push(format!(
+                    r#"{{"name":"resume","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_ENGINE},"tid":{tid},"args":{{"req":{req},"tokens":{tokens},"pages":{pages}}}}}"#
+                ));
+            }
+            ProbeEvent::SessionTruncated {
+                req,
+                gpu,
+                tokens,
+                target,
+            } => {
+                lane(
+                    &mut lanes,
+                    PID_SERVING,
+                    gpu as u64,
+                    format!("gpu{gpu} requests"),
+                );
+                body.push(format!(
+                    r#"{{"name":"truncated","cat":"resilience","ph":"i","s":"t","ts":{us:?},"pid":{PID_SERVING},"tid":{gpu},"args":{{"req":{req},"tokens":{tokens},"target":{target}}}}}"#
+                ));
+            }
         }
     }
 
@@ -2073,6 +2294,43 @@ fn event_from_fields(f: &Fields) -> Result<ProbeEvent, String> {
             tokens: f.u64("tokens")?,
             ttft_ns: f.u64("ttft_ns")?,
             tpot_ns: f.u64("tpot_ns")?,
+        },
+        "kv_checkpoint" => ProbeEvent::KvCheckpoint {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            bytes: f.u64("bytes")?,
+        },
+        "restore_decision" => ProbeEvent::RestoreDecision {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            restore: f.bool("restore")?,
+            ckpt_tokens: f.u64("ckpt_tokens")?,
+            ckpt_bytes: f.u64("ckpt_bytes")?,
+        },
+        "session_restored" => ProbeEvent::SessionRestored {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            bytes: f.u64("bytes")?,
+        },
+        "session_swapped_out" => ProbeEvent::SessionSwappedOut {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            pages: f.u64("pages")?,
+        },
+        "session_resumed" => ProbeEvent::SessionResumed {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            pages: f.u64("pages")?,
+        },
+        "session_truncated" => ProbeEvent::SessionTruncated {
+            req: f.u64("req")?,
+            gpu: f.idx("gpu")?,
+            tokens: f.u64("tokens")?,
+            target: f.u64("target")?,
         },
         other => return Err(format!("unknown event name '{other}'")),
     };
@@ -2660,6 +2918,43 @@ mod tests {
                 tokens: 32,
                 ttft_ns: 9_000,
                 tpot_ns: 700,
+            },
+            ProbeEvent::KvCheckpoint {
+                req: 1,
+                gpu: 3,
+                tokens: 12,
+                bytes: 65_536,
+            },
+            ProbeEvent::RestoreDecision {
+                req: 1,
+                gpu: 2,
+                restore: true,
+                ckpt_tokens: 12,
+                ckpt_bytes: 65_536,
+            },
+            ProbeEvent::SessionRestored {
+                req: 1,
+                gpu: 2,
+                tokens: 12,
+                bytes: 65_536,
+            },
+            ProbeEvent::SessionSwappedOut {
+                req: 1,
+                gpu: 3,
+                tokens: 12,
+                pages: 4,
+            },
+            ProbeEvent::SessionResumed {
+                req: 1,
+                gpu: 3,
+                tokens: 12,
+                pages: 4,
+            },
+            ProbeEvent::SessionTruncated {
+                req: 1,
+                gpu: 3,
+                tokens: 12,
+                target: 32,
             },
         ];
         samples

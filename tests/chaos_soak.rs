@@ -148,12 +148,16 @@ mod decode_chaos {
                                 gpu-crash:gpu=3,mtbf=3s,mttr=600ms; \
                                 link-flap:pcie=0,up=700ms,down=150ms,factor=0.2";
 
-    fn decode_soak() -> (ServingReport, Vec<Event>) {
+    fn decode_soak(resilience: bool) -> (ServingReport, Vec<Event>) {
         let machine = p3_8xlarge();
         let mode = PlanMode::PtDha;
         let mut cfg = ServerConfig::paper_default(machine.clone(), mode);
         cfg.decode.enabled = true;
         cfg.decode.gpu_pool_bytes = 32 << 20;
+        cfg.decode_resilience.enabled = resilience;
+        if resilience {
+            cfg.decode_resilience.checkpoint_every = 2;
+        }
         cfg.admission.queue_cap = Some(64);
         let kinds = vec![DeployedModel::prepare(
             &build(ModelId::Gpt2),
@@ -181,7 +185,7 @@ mod decode_chaos {
 
     #[test]
     fn gpu_crash_mid_decode_leaks_no_kv_pages_and_replays_identically() {
-        let (report, events) = decode_soak();
+        let (report, events) = decode_soak(false);
         assert_eq!(
             report.completed + report.shed,
             DECODE_REQUESTS as u64,
@@ -205,6 +209,16 @@ mod decode_chaos {
             report.kv_live_pages_at_end, 0,
             "KV pages leaked across GPU crashes"
         );
+        // Lifetime reconciliation: every page the pager ever handed out
+        // was freed exactly once, from whichever pool it lived in last.
+        assert_eq!(
+            report.kv_allocs,
+            report.kv_frees_gpu + report.kv_frees_host,
+            "pager lifetime counters must reconcile: {} allocs != {} gpu + {} host frees",
+            report.kv_allocs,
+            report.kv_frees_gpu,
+            report.kv_frees_host
+        );
         // Crashes interrupted live decode batches, not just prefills:
         // some requests joined a batch (FirstToken) more than once.
         let mut first_tokens: std::collections::BTreeMap<u64, u32> = Default::default();
@@ -217,8 +231,76 @@ mod decode_chaos {
             first_tokens.values().any(|&n| n > 1),
             "no request was ever re-prefetched after a mid-decode crash"
         );
-        let (report2, events2) = decode_soak();
+        let (report2, events2) = decode_soak(false);
         assert_eq!(to_jsonl(&events), to_jsonl(&events2));
+        assert_eq!(report.completed, report2.completed);
+    }
+
+    #[test]
+    fn resilient_decode_chaos_loses_no_session_and_resumes_exactly() {
+        let (report, events) = decode_soak(true);
+        // No session is ever lost: every arrival either streams to
+        // completion or is shed visibly — crashes included.
+        assert_eq!(
+            report.completed + report.shed,
+            DECODE_REQUESTS as u64,
+            "sessions vanished: {} completed + {} shed != {DECODE_REQUESTS}",
+            report.completed,
+            report.shed
+        );
+        assert!(report.gpu_failures > 0, "chaos never crashed a GPU");
+        assert!(report.ckpt_sessions > 0, "no session ever checkpointed");
+        assert!(
+            report.restore_decisions + report.reprefill_decisions > 0,
+            "crashes never reached a recovery decision"
+        );
+        assert_eq!(report.kv_live_pages_at_end, 0, "KV pages leaked");
+        assert_eq!(
+            report.kv_allocs,
+            report.kv_frees_gpu + report.kv_frees_host,
+            "pager lifetime counters must reconcile under resilience"
+        );
+        // Exact-resume proof: a restored session rejoins at a token step
+        // some committed checkpoint actually covered, and a resumed
+        // (swapped-out) session rejoins at exactly the step it froze at.
+        let mut ckpt_tokens: std::collections::BTreeMap<u64, Vec<u64>> = Default::default();
+        let mut frozen_at: std::collections::BTreeMap<u64, u64> = Default::default();
+        for e in &events {
+            match e.what {
+                ProbeEvent::KvCheckpoint { req, tokens, .. } => {
+                    ckpt_tokens.entry(req).or_default().push(tokens);
+                }
+                ProbeEvent::SessionRestored { req, tokens, .. } => {
+                    assert!(
+                        ckpt_tokens.get(&req).is_some_and(|v| v.contains(&tokens)),
+                        "session {req} restored at token {tokens} without a covering checkpoint"
+                    );
+                }
+                ProbeEvent::SessionSwappedOut { req, tokens, .. } => {
+                    frozen_at.insert(req, tokens);
+                }
+                ProbeEvent::SessionResumed { req, tokens, .. } => {
+                    assert_eq!(
+                        frozen_at.remove(&req),
+                        Some(tokens),
+                        "session {req} resumed at a different token step than it froze at"
+                    );
+                }
+                _ => {}
+            }
+        }
+        if report.sessions_restored > 0 {
+            assert!(
+                !ckpt_tokens.is_empty(),
+                "restores happened without any checkpoint commits"
+            );
+        }
+        let (report2, events2) = decode_soak(true);
+        assert_eq!(
+            to_jsonl(&events),
+            to_jsonl(&events2),
+            "resilient decode chaos must replay byte-identically"
+        );
         assert_eq!(report.completed, report2.completed);
     }
 }
